@@ -1,0 +1,149 @@
+//! FIT / MTBF algebra and machine-scale extrapolation (paper §4.1–§4.2).
+//!
+//! Beam methodology: the cross-section `σ = N_events / Φ` (events per unit
+//! fluence) scales to the natural environment as `FIT = σ × flux × 10⁹`,
+//! with the reference sea-level flux of 13 n/(cm²·h) (JESD89A, paper §2.1).
+//! The paper extrapolates the measured FIT to a Trinity-sized machine
+//! (19 000 Xeon Phis ⇒ an LUD SDC or HotSpot DUE every 11–12 days) and to a
+//! 10× exascale machine (⇒ almost daily events).
+
+use crate::stats::{poisson95, Interval};
+use serde::{Deserialize, Serialize};
+
+/// Reference sea-level neutron flux, n/(cm²·h) (JESD89A; paper §2.1).
+pub const SEA_LEVEL_FLUX: f64 = 13.0;
+/// Hours per 10⁹ device-hours (the FIT normalisation).
+pub const FIT_HOURS: f64 = 1e9;
+/// Trinity-scale board count used in §4.2.
+pub const TRINITY_BOARDS: usize = 19_000;
+
+/// A FIT-rate estimate from a counted number of events over a fluence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitEstimate {
+    /// Events observed (SDCs or DUEs).
+    pub events: usize,
+    /// Total fluence the device absorbed, n/cm².
+    pub fluence: f64,
+    /// Natural flux to scale to, n/(cm²·h).
+    pub flux: f64,
+}
+
+impl FitEstimate {
+    /// Standard sea-level estimate.
+    pub fn sea_level(events: usize, fluence: f64) -> Self {
+        FitEstimate { events, fluence, flux: SEA_LEVEL_FLUX }
+    }
+
+    /// Cross-section σ in cm².
+    pub fn cross_section(&self) -> f64 {
+        self.events as f64 / self.fluence
+    }
+
+    /// Failures in 10⁹ device-hours.
+    pub fn fit(&self) -> f64 {
+        self.cross_section() * self.flux * FIT_HOURS
+    }
+
+    /// 95 % interval on the FIT (Poisson on the event count).
+    pub fn fit_interval(&self) -> Interval {
+        let iv = poisson95(self.events);
+        let scale = self.flux * FIT_HOURS / self.fluence;
+        Interval { estimate: iv.estimate * scale, lo: iv.lo * scale, hi: iv.hi * scale }
+    }
+
+    /// Mean time between failures for one device, hours.
+    pub fn mtbf_hours(&self) -> f64 {
+        FIT_HOURS / self.fit()
+    }
+}
+
+/// Extrapolation of a per-device FIT to a machine of `boards` devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineProjection {
+    pub boards: usize,
+    pub per_device_fit: f64,
+}
+
+impl MachineProjection {
+    pub fn trinity(per_device_fit: f64) -> Self {
+        MachineProjection { boards: TRINITY_BOARDS, per_device_fit }
+    }
+
+    /// Machine-level MTBF in hours (failure rates add across boards).
+    pub fn mtbf_hours(&self) -> f64 {
+        FIT_HOURS / (self.per_device_fit * self.boards as f64)
+    }
+
+    /// Machine-level MTBF in days.
+    pub fn mtbf_days(&self) -> f64 {
+        self.mtbf_hours() / 24.0
+    }
+
+    /// The same machine scaled by a factor (the paper's 10× exascale case).
+    pub fn scaled(&self, factor: usize) -> Self {
+        MachineProjection { boards: self.boards * factor, per_device_fit: self.per_device_fit }
+    }
+}
+
+/// Converts accelerated-beam exposure to equivalent natural-environment
+/// hours: `fluence / natural_flux` (the paper's "57,000 years" per board).
+pub fn natural_equivalent_hours(fluence: f64, natural_flux: f64) -> f64 {
+    fluence / natural_flux
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_matches_hand_computation() {
+        // σ = 100 events / 1e12 n/cm² = 1e-10 cm²;
+        // FIT = 1e-10 × 13 × 1e9 = 1.3.
+        let est = FitEstimate::sea_level(100, 1e12);
+        assert!((est.fit() - 1.3).abs() < 1e-9);
+        assert!((est.cross_section() - 1e-10).abs() < 1e-22);
+    }
+
+    #[test]
+    fn paper_trinity_projection_order_of_magnitude() {
+        // §4.2: LUD's ~193 FIT over 19,000 boards ⇒ an event every ~11 days.
+        let proj = MachineProjection::trinity(193.0);
+        let days = proj.mtbf_days();
+        assert!((10.0..13.0).contains(&days), "got {days} days");
+    }
+
+    #[test]
+    fn exascale_scaling_makes_events_near_daily() {
+        let proj = MachineProjection::trinity(193.0).scaled(10);
+        assert!(proj.mtbf_days() < 1.5, "got {} days", proj.mtbf_days());
+    }
+
+    #[test]
+    fn paper_beam_time_equivalence() {
+        // §4.1: ≥500 h of beam at 1e5–2.5e6 n/cm²/s covers ≥5e8 natural
+        // hours (~57,000 years).
+        let beam_seconds = 500.0 * 3600.0;
+        let fluence = 1e5 * beam_seconds; // most conservative flux
+        let hours = natural_equivalent_hours(fluence, SEA_LEVEL_FLUX);
+        assert!(hours >= 1.3e7, "got {hours}");
+        let fluence_hi = 2.5e6 * beam_seconds;
+        let hours_hi = natural_equivalent_hours(fluence_hi, SEA_LEVEL_FLUX);
+        assert!(hours_hi >= 5e8, "got {hours_hi}");
+    }
+
+    #[test]
+    fn mtbf_is_inverse_of_fit() {
+        let est = FitEstimate::sea_level(130, 1e13);
+        let fit = est.fit();
+        assert!((est.mtbf_hours() - 1e9 / fit).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_scales_with_counts() {
+        let a = FitEstimate::sea_level(100, 1e12).fit_interval();
+        // Paper: ≥100 events keeps the 95% CI under ~20% of the estimate.
+        assert!((a.hi - a.lo) / a.estimate < 0.45);
+        let b = FitEstimate::sea_level(10_000, 1e14).fit_interval();
+        assert!((b.hi - b.lo) / b.estimate < 0.05);
+    }
+}

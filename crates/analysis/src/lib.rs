@@ -1,0 +1,27 @@
+//! # sdc-analysis — outcome analysis for beam and injection campaigns
+//!
+//! The analytical half of *Experimental and Analytical Study of Xeon Phi
+//! Reliability* (SC'17):
+//!
+//! * [`spatial`] — the five output-error patterns of Fig. 2 (single, line,
+//!   square, cubic, random);
+//! * [`tolerance`] — SDC-rate reduction as a function of the accepted
+//!   relative output error (Fig. 3);
+//! * [`pvf`] — Program Vulnerability Factors per fault model (Fig. 5), per
+//!   execution-time window (Fig. 6), per variable class (§6 text), and the
+//!   Masked/SDC/DUE breakdown (Fig. 4);
+//! * [`fit`] — FIT/MTBF algebra, cross-sections, machine-scale
+//!   extrapolation (§4.2: Trinity and exascale projections);
+//! * [`stats`] — confidence intervals (Wilson binomial, Poisson exact
+//!   approximation) backing the paper's error bars.
+
+pub mod fit;
+pub mod pvf;
+pub mod spatial;
+pub mod stats;
+pub mod tolerance;
+
+pub use fit::{FitEstimate, MachineProjection};
+pub use pvf::{OutcomeBreakdown, PvfTable};
+pub use spatial::SpatialPattern;
+pub use tolerance::ToleranceCurve;

@@ -1,0 +1,256 @@
+//! Program Vulnerability Factors over campaign records
+//! (paper Fig. 4, Fig. 5, Fig. 6 and the §6 per-variable-class text).
+//!
+//! The PVF of a group of injections is the fraction that produced a given
+//! outcome (SDC or DUE). Grouping by fault model reproduces Fig. 5; by
+//! execution-time window, Fig. 6 ("Figures 6a and 6b show the PVF for each
+//! time window, not … the contribution of each time window to the benchmark
+//! PVF, which is why the sum of percentages is higher than 100%"); by
+//! variable class, the per-portion criticality analysis of §6.
+
+use crate::stats::{wilson95, Interval};
+use carolfi::models::FaultModel;
+use carolfi::record::{OutcomeRecord, TrialRecord};
+use carolfi::target::VarClass;
+use std::collections::BTreeMap;
+
+/// Masked / SDC / DUE fractions (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeBreakdown {
+    pub trials: usize,
+    pub masked: usize,
+    pub sdc: usize,
+    pub due: usize,
+}
+
+impl OutcomeBreakdown {
+    pub fn of<'a>(records: impl IntoIterator<Item = &'a TrialRecord>) -> Self {
+        let mut b = OutcomeBreakdown { trials: 0, masked: 0, sdc: 0, due: 0 };
+        for r in records {
+            b.trials += 1;
+            match &r.outcome {
+                OutcomeRecord::Masked | OutcomeRecord::HardwareMasked => b.masked += 1,
+                OutcomeRecord::Sdc(_) => b.sdc += 1,
+                OutcomeRecord::Due(_) => b.due += 1,
+            }
+        }
+        b
+    }
+
+    pub fn masked_pct(&self) -> f64 {
+        100.0 * self.masked as f64 / self.trials.max(1) as f64
+    }
+    pub fn sdc_pct(&self) -> f64 {
+        100.0 * self.sdc as f64 / self.trials.max(1) as f64
+    }
+    pub fn due_pct(&self) -> f64 {
+        100.0 * self.due as f64 / self.trials.max(1) as f64
+    }
+
+    /// Wilson 95 % interval on the SDC fraction.
+    pub fn sdc_interval(&self) -> Interval {
+        wilson95(self.sdc, self.trials)
+    }
+
+    /// Wilson 95 % interval on the DUE fraction.
+    pub fn due_interval(&self) -> Interval {
+        wilson95(self.due, self.trials)
+    }
+}
+
+/// A PVF value for one group of injections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pvf {
+    pub trials: usize,
+    pub events: usize,
+}
+
+impl Pvf {
+    pub fn percent(&self) -> f64 {
+        100.0 * self.events as f64 / self.trials.max(1) as f64
+    }
+    pub fn interval(&self) -> Interval {
+        wilson95(self.events, self.trials)
+    }
+}
+
+/// Which outcome a PVF counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PvfKind {
+    Sdc,
+    Due,
+}
+
+fn counts(records: &[&TrialRecord], kind: PvfKind) -> Pvf {
+    let events = records
+        .iter()
+        .filter(|r| match kind {
+            PvfKind::Sdc => r.outcome.is_sdc(),
+            PvfKind::Due => r.outcome.is_due(),
+        })
+        .count();
+    Pvf { trials: records.len(), events }
+}
+
+/// PVFs grouped along one axis (model, window, or variable class).
+#[derive(Debug, Clone)]
+pub struct PvfTable<K: Ord> {
+    pub groups: BTreeMap<K, Pvf>,
+}
+
+impl<K: Ord + Copy> PvfTable<K> {
+    pub fn get(&self, key: K) -> Option<Pvf> {
+        self.groups.get(&key).copied()
+    }
+}
+
+/// Fig. 5: PVF per fault model.
+pub fn by_model(records: &[TrialRecord], kind: PvfKind) -> PvfTable<FaultModel> {
+    let mut groups: BTreeMap<FaultModel, Vec<&TrialRecord>> = BTreeMap::new();
+    for r in records {
+        if let Some(m) = r.model {
+            groups.entry(m).or_default().push(r);
+        }
+    }
+    PvfTable { groups: groups.into_iter().map(|(k, v)| (k, counts(&v, kind))).collect() }
+}
+
+/// Fig. 6: PVF per execution-time window.
+pub fn by_window(records: &[TrialRecord], kind: PvfKind) -> PvfTable<usize> {
+    let mut groups: BTreeMap<usize, Vec<&TrialRecord>> = BTreeMap::new();
+    for r in records {
+        groups.entry(r.window).or_default().push(r);
+    }
+    PvfTable { groups: groups.into_iter().map(|(k, v)| (k, counts(&v, kind))).collect() }
+}
+
+/// §6 text: PVF per variable class (only trials whose fault reached
+/// architectural state carry a class).
+pub fn by_class(records: &[TrialRecord], kind: PvfKind) -> PvfTable<VarClass> {
+    let mut groups: BTreeMap<VarClass, Vec<&TrialRecord>> = BTreeMap::new();
+    for r in records {
+        if let Some(inj) = &r.injection {
+            groups.entry(inj.var_class).or_default().push(r);
+        }
+    }
+    PvfTable { groups: groups.into_iter().map(|(k, v)| (k, counts(&v, kind))).collect() }
+}
+
+/// Share of all SDC (or DUE) events attributable to each variable class —
+/// the "charge and distance arrays are responsible for 57% of the SDCs"
+/// style of statement in §6.
+pub fn event_share_by_class(records: &[TrialRecord], kind: PvfKind) -> BTreeMap<VarClass, f64> {
+    let mut per_class: BTreeMap<VarClass, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for r in records {
+        let is_event = match kind {
+            PvfKind::Sdc => r.outcome.is_sdc(),
+            PvfKind::Due => r.outcome.is_due(),
+        };
+        if is_event {
+            if let Some(inj) = &r.injection {
+                *per_class.entry(inj.var_class).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+    }
+    per_class.into_iter().map(|(k, v)| (k, v as f64 / total.max(1) as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carolfi::models::InjectionDetail;
+    use carolfi::record::{DiffSummary, DueKind};
+
+    fn record(model: FaultModel, window: usize, class: VarClass, outcome: OutcomeRecord) -> TrialRecord {
+        TrialRecord {
+            trial: 0,
+            benchmark: "t".into(),
+            model: Some(model),
+            mechanism: model.label().into(),
+            inject_step: window,
+            total_steps: 4,
+            window,
+            n_windows: 4,
+            injection: Some(InjectionDetail {
+                var_name: "v".into(),
+                var_class: class,
+                frame: "<global>".into(),
+                thread: None,
+                decl: "f:1".into(),
+                elem_index: 0,
+                bits: vec![0],
+                mechanism: model.label().into(),
+            }),
+            outcome,
+            executed_steps: 4,
+        }
+    }
+
+    fn sdc() -> OutcomeRecord {
+        OutcomeRecord::Sdc(DiffSummary::from_mismatches(
+            &[carolfi::output::Mismatch { coord: [0, 0, 0], expected: 0.0, got: 1.0, rel_err: 1.0 }],
+            [2, 2, 1],
+        ))
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let rs = vec![
+            record(FaultModel::Single, 0, VarClass::Matrix, sdc()),
+            record(FaultModel::Double, 1, VarClass::Matrix, OutcomeRecord::Masked),
+            record(FaultModel::Zero, 2, VarClass::ControlVariable, OutcomeRecord::Due(DueKind::Timeout)),
+            record(FaultModel::Random, 3, VarClass::ControlVariable, OutcomeRecord::Masked),
+        ];
+        let b = OutcomeBreakdown::of(&rs);
+        assert_eq!(b.trials, 4);
+        assert!((b.masked_pct() + b.sdc_pct() + b.due_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_pvf_separates_models() {
+        let rs = vec![
+            record(FaultModel::Single, 0, VarClass::Matrix, sdc()),
+            record(FaultModel::Single, 0, VarClass::Matrix, sdc()),
+            record(FaultModel::Zero, 0, VarClass::Matrix, OutcomeRecord::Masked),
+        ];
+        let t = by_model(&rs, PvfKind::Sdc);
+        assert_eq!(t.get(FaultModel::Single).unwrap().percent(), 100.0);
+        assert_eq!(t.get(FaultModel::Zero).unwrap().percent(), 0.0);
+    }
+
+    #[test]
+    fn window_pvf_is_per_window_not_contribution() {
+        // One SDC in each of two windows with one trial each -> both 100%;
+        // the "sum over windows" exceeds 100% exactly as the paper notes.
+        let rs = vec![record(FaultModel::Single, 0, VarClass::Matrix, sdc()), record(FaultModel::Single, 1, VarClass::Matrix, sdc())];
+        let t = by_window(&rs, PvfKind::Sdc);
+        let total: f64 = t.groups.values().map(|p| p.percent()).sum();
+        assert!(total > 100.0);
+    }
+
+    #[test]
+    fn class_share_sums_to_one() {
+        let rs = vec![
+            record(FaultModel::Single, 0, VarClass::Matrix, sdc()),
+            record(FaultModel::Single, 0, VarClass::Matrix, sdc()),
+            record(FaultModel::Single, 0, VarClass::ControlVariable, sdc()),
+            record(FaultModel::Single, 0, VarClass::ControlVariable, OutcomeRecord::Masked),
+        ];
+        let share = event_share_by_class(&rs, PvfKind::Sdc);
+        let total: f64 = share.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((share[&VarClass::Matrix] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn due_pvf_counts_due_only() {
+        let rs = vec![
+            record(FaultModel::Random, 0, VarClass::Matrix, OutcomeRecord::Due(DueKind::Timeout)),
+            record(FaultModel::Random, 0, VarClass::Matrix, sdc()),
+        ];
+        let t = by_model(&rs, PvfKind::Due);
+        assert_eq!(t.get(FaultModel::Random).unwrap().percent(), 50.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Spatial classification of corrupted outputs (paper §4.3, Fig. 2).
+//!
+//! "We categorize the outputs as having one of five failure patterns:
+//! (i) *single*, when a single output value is wrong; (ii) *line*, when more
+//! than one value in a row or column of an output matrix is wrong;
+//! (iii) *square*, when more than one value in two dimensions of an output
+//! matrix is wrong; (iv) *cubic*, when more than one value in three
+//! dimensions of the output matrices is wrong; and (v) *random*, when more
+//! than one value is wrong but with no clear pattern."
+//!
+//! The classifier works from the compact [`DiffSummary`] geometry: the
+//! number of distinct coordinates touched per dimension separates
+//! single/line/square/cubic; the corrupted-cell density inside the bounding
+//! box separates a coherent square/cubic *region* from a scattered *random*
+//! spray.
+
+use carolfi::record::DiffSummary;
+use serde::{Deserialize, Serialize};
+
+/// The five output-error patterns of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpatialPattern {
+    Single,
+    Line,
+    Square,
+    Cubic,
+    Random,
+}
+
+impl SpatialPattern {
+    pub const ALL: [SpatialPattern; 5] =
+        [SpatialPattern::Cubic, SpatialPattern::Square, SpatialPattern::Line, SpatialPattern::Single, SpatialPattern::Random];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            SpatialPattern::Single => "single",
+            SpatialPattern::Line => "line",
+            SpatialPattern::Square => "square",
+            SpatialPattern::Cubic => "cubic",
+            SpatialPattern::Random => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for SpatialPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Minimum corrupted-cell density inside the bounding box for a
+/// multi-dimensional spread to count as a coherent square/cubic region
+/// rather than a random spray.
+pub const REGION_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// Classifies one SDC's corruption geometry.
+pub fn classify(s: &DiffSummary) -> SpatialPattern {
+    if s.wrong == 1 {
+        return SpatialPattern::Single;
+    }
+    let spread = [s.distinct[0] > 1, s.distinct[1] > 1, s.distinct[2] > 1];
+    let dims_spread = spread.iter().filter(|&&b| b).count();
+    match dims_spread {
+        0 => SpatialPattern::Single, // duplicate coords cannot happen, but be safe
+        1 => SpatialPattern::Line,
+        2 => {
+            if s.density() >= REGION_DENSITY_THRESHOLD {
+                SpatialPattern::Square
+            } else {
+                SpatialPattern::Random
+            }
+        }
+        _ => {
+            if s.density() >= REGION_DENSITY_THRESHOLD {
+                SpatialPattern::Cubic
+            } else {
+                SpatialPattern::Random
+            }
+        }
+    }
+}
+
+/// Pattern histogram over a set of SDC summaries.
+pub fn histogram<'a>(summaries: impl IntoIterator<Item = &'a DiffSummary>) -> std::collections::BTreeMap<SpatialPattern, usize> {
+    let mut h = std::collections::BTreeMap::new();
+    for s in summaries {
+        *h.entry(classify(s)).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carolfi::output::Mismatch;
+
+    fn summary(coords: &[[usize; 3]], dims: [usize; 3]) -> DiffSummary {
+        let ms: Vec<Mismatch> =
+            coords.iter().map(|&coord| Mismatch { coord, expected: 1.0, got: 2.0, rel_err: 1.0 }).collect();
+        DiffSummary::from_mismatches(&ms, dims)
+    }
+
+    #[test]
+    fn one_wrong_value_is_single() {
+        let s = summary(&[[3, 4, 0]], [8, 8, 1]);
+        assert_eq!(classify(&s), SpatialPattern::Single);
+    }
+
+    #[test]
+    fn row_and_column_runs_are_lines() {
+        let row: Vec<[usize; 3]> = (0..6).map(|j| [2, j, 0]).collect();
+        assert_eq!(classify(&summary(&row, [8, 8, 1])), SpatialPattern::Line);
+        let col: Vec<[usize; 3]> = (0..5).map(|i| [i, 7, 0]).collect();
+        assert_eq!(classify(&summary(&col, [8, 8, 1])), SpatialPattern::Line);
+    }
+
+    #[test]
+    fn broken_line_is_still_a_line() {
+        // "more than one value in a row or column" — gaps allowed.
+        let row: Vec<[usize; 3]> = vec![[2, 0, 0], [2, 3, 0], [2, 7, 0]];
+        assert_eq!(classify(&summary(&row, [8, 8, 1])), SpatialPattern::Line);
+    }
+
+    #[test]
+    fn dense_block_is_square() {
+        let mut cs = Vec::new();
+        for i in 2..5 {
+            for j in 3..7 {
+                cs.push([i, j, 0]);
+            }
+        }
+        assert_eq!(classify(&summary(&cs, [16, 16, 1])), SpatialPattern::Square);
+    }
+
+    #[test]
+    fn scattered_spray_is_random() {
+        let cs = [[0, 0, 0], [5, 9, 0], [11, 2, 0], [15, 15, 0]];
+        assert_eq!(classify(&summary(&cs, [16, 16, 1])), SpatialPattern::Random);
+    }
+
+    #[test]
+    fn dense_3d_block_is_cubic() {
+        let mut cs = Vec::new();
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..3 {
+                    cs.push([i, j, k]);
+                }
+            }
+        }
+        assert_eq!(classify(&summary(&cs, [4, 4, 8])), SpatialPattern::Cubic);
+    }
+
+    #[test]
+    fn sparse_3d_spray_is_random() {
+        let cs = [[0, 0, 0], [3, 3, 7], [1, 2, 5], [2, 0, 3]];
+        assert_eq!(classify(&summary(&cs, [4, 4, 8])), SpatialPattern::Random);
+    }
+
+    #[test]
+    fn two_d_output_never_classifies_cubic() {
+        // A 2-D output has distinct[2] == 1 always.
+        let mut cs = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                cs.push([i, j, 0]);
+            }
+        }
+        assert_ne!(classify(&summary(&cs, [8, 8, 1])), SpatialPattern::Cubic);
+    }
+
+    #[test]
+    fn histogram_counts_all() {
+        let sums = vec![summary(&[[0, 0, 0]], [4, 4, 1]), summary(&[[1, 0, 0], [1, 1, 0]], [4, 4, 1])];
+        let h = histogram(&sums);
+        assert_eq!(h[&SpatialPattern::Single], 1);
+        assert_eq!(h[&SpatialPattern::Line], 1);
+    }
+}

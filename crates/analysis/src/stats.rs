@@ -1,0 +1,146 @@
+//! Confidence intervals and small statistical helpers.
+//!
+//! The paper reports Normal 95 % confidence intervals below 10 % of the
+//! estimated FIT values (§4.2) and sizes its injection campaigns so "the
+//! worst case statistical error bars at 95 % confidence level [are] at most
+//! 1.96 %" (§6). These helpers reproduce both calculations.
+
+/// z-value of the two-sided 95 % normal interval.
+pub const Z95: f64 = 1.959_963_984_540_054;
+
+/// A symmetric-ish interval `[lo, hi]` around an estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub estimate: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Relative half-width (half-width ÷ estimate).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.estimate == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width() / self.estimate
+        }
+    }
+}
+
+/// Wilson score interval for a binomial proportion at 95 % confidence.
+///
+/// Behaves sensibly at the extremes (k = 0 or k = n), unlike the plain
+/// normal approximation.
+pub fn wilson95(successes: usize, trials: usize) -> Interval {
+    assert!(successes <= trials, "successes {successes} > trials {trials}");
+    if trials == 0 {
+        return Interval { estimate: 0.0, lo: 0.0, hi: 1.0 };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = Z95 * Z95;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let margin = (Z95 / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Interval { estimate: p, lo: (centre - margin).max(0.0), hi: (centre + margin).min(1.0) }
+}
+
+/// Normal-approximation 95 % error bar for a binomial proportion — the
+/// `1.96 · sqrt(p(1-p)/n)` the paper quotes. Returned as an absolute margin.
+pub fn normal_margin95(p: f64, trials: usize) -> f64 {
+    if trials == 0 {
+        return f64::INFINITY;
+    }
+    Z95 * (p * (1.0 - p) / trials as f64).sqrt()
+}
+
+/// 95 % interval for a Poisson count (normal approximation on the count,
+/// suitable for the ≥100-event samples the paper collects).
+pub fn poisson95(count: usize) -> Interval {
+    let k = count as f64;
+    let margin = Z95 * k.sqrt();
+    Interval { estimate: k, lo: (k - margin).max(0.0), hi: k + margin }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Number of injection trials needed so the worst-case (p = 0.5) normal 95 %
+/// error bar is at most `margin` — the paper's 10 000-trial sizing rule.
+pub fn trials_for_margin(margin: f64) -> usize {
+    assert!(margin > 0.0);
+    ((Z95 * 0.5 / margin).powi(2)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizing_rule_holds() {
+        // "at least 10,000 faults … sufficient to guarantee the worst case
+        // statistical error bars at 95% confidence level to be at most 1.96%"
+        let margin = normal_margin95(0.5, 10_000);
+        assert!(margin <= 0.0098 + 1e-12, "worst-case margin {margin}");
+        assert!(trials_for_margin(0.0098) <= 10_000);
+    }
+
+    #[test]
+    fn wilson_contains_the_estimate() {
+        for (k, n) in [(0usize, 50usize), (1, 50), (25, 50), (49, 50), (50, 50)] {
+            let iv = wilson95(k, n);
+            assert!(iv.lo <= iv.estimate + 1e-12 && iv.estimate <= iv.hi + 1e-12, "{k}/{n}: {iv:?}");
+            assert!(iv.lo >= 0.0 && iv.hi <= 1.0);
+        }
+    }
+
+    #[test]
+    fn wilson_tightens_with_more_trials() {
+        let a = wilson95(10, 100);
+        let b = wilson95(100, 1000);
+        assert!(b.half_width() < a.half_width());
+    }
+
+    #[test]
+    fn poisson_interval_for_100_events_is_under_20_percent() {
+        // The paper collects ≥100 SDC/DUE events so the FIT interval stays
+        // below 10% of the value on each side (2·sqrt(100)/100 ≈ 20% total).
+        let iv = poisson95(100);
+        assert!((iv.hi - iv.estimate) / iv.estimate < 0.2);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        let iv = wilson95(0, 0);
+        assert_eq!(iv.lo, 0.0);
+        assert_eq!(iv.hi, 1.0);
+    }
+
+    #[test]
+    fn mean_and_stddev_match_hand_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+}

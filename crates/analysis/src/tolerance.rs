@@ -1,0 +1,123 @@
+//! SDC-rate reduction under an accepted output-error tolerance
+//! (paper §4.4, Fig. 3).
+//!
+//! "For each benchmark, we provide how much its SDC FIT rate changes when we
+//! increase the acceptable error margin from 0.1% up to 15%." An execution
+//! counts as an SDC at tolerance `t` only if at least one corrupted element
+//! differs from its expected value by more than `t` (relative); NaN/Inf
+//! corruptions (`rel_err = ∞`) are never tolerated.
+
+use carolfi::record::DiffSummary;
+use serde::{Deserialize, Serialize};
+
+/// The tolerance grid of Fig. 3 (fractions, not percent).
+pub fn paper_tolerances() -> Vec<f64> {
+    vec![0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.10, 0.15]
+}
+
+/// One benchmark's Fig. 3 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ToleranceCurve {
+    pub benchmark: String,
+    /// Relative tolerances (fraction of the expected value).
+    pub tolerances: Vec<f64>,
+    /// SDCs surviving each tolerance.
+    pub surviving: Vec<usize>,
+    /// SDCs at zero tolerance (any bit mismatch).
+    pub total: usize,
+}
+
+impl ToleranceCurve {
+    /// Builds the curve from the SDC summaries of a campaign.
+    pub fn from_summaries<'a>(
+        benchmark: &str,
+        summaries: impl IntoIterator<Item = &'a DiffSummary>,
+        tolerances: &[f64],
+    ) -> Self {
+        let max_errs: Vec<f64> = summaries.into_iter().map(|s| s.max_rel_err).collect();
+        let surviving = tolerances.iter().map(|&t| max_errs.iter().filter(|&&e| e > t).count()).collect();
+        ToleranceCurve {
+            benchmark: benchmark.to_string(),
+            tolerances: tolerances.to_vec(),
+            surviving,
+            total: max_errs.len(),
+        }
+    }
+
+    /// FIT reduction (%) at each tolerance — the Fig. 3 vertical axis.
+    pub fn fit_reduction_percent(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.tolerances.len()];
+        }
+        self.surviving.iter().map(|&s| 100.0 * (1.0 - s as f64 / self.total as f64)).collect()
+    }
+
+    /// Surviving-SDC fraction at each tolerance.
+    pub fn surviving_fraction(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![1.0; self.tolerances.len()];
+        }
+        self.surviving.iter().map(|&s| s as f64 / self.total as f64).collect()
+    }
+
+    /// MTBF improvement factor at a given tolerance index (MTBF ∝ 1/FIT).
+    pub fn mtbf_gain(&self, idx: usize) -> f64 {
+        let frac = self.surviving_fraction()[idx];
+        if frac == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / frac
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carolfi::output::Mismatch;
+
+    fn s(rel: f64) -> DiffSummary {
+        DiffSummary::from_mismatches(&[Mismatch { coord: [0, 0, 0], expected: 1.0, got: 1.0 + rel, rel_err: rel }], [4, 4, 1])
+    }
+
+    #[test]
+    fn reductions_are_monotone_in_tolerance() {
+        let sums = vec![s(0.0005), s(0.003), s(0.03), s(0.5), s(f64::INFINITY)];
+        let curve = ToleranceCurve::from_summaries("x", &sums, &paper_tolerances());
+        let red = curve.fit_reduction_percent();
+        for w in red.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "reduction must not decrease: {red:?}");
+        }
+    }
+
+    #[test]
+    fn nan_corruptions_survive_every_tolerance() {
+        let sums = vec![s(f64::INFINITY); 4];
+        let curve = ToleranceCurve::from_summaries("x", &sums, &paper_tolerances());
+        assert!(curve.surviving.iter().all(|&n| n == 4));
+        assert!(curve.fit_reduction_percent().iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn exact_threshold_is_tolerated() {
+        // rel_err must EXCEED the tolerance to count.
+        let sums = vec![s(0.01)];
+        let curve = ToleranceCurve::from_summaries("x", &sums, &[0.01]);
+        assert_eq!(curve.surviving, vec![0]);
+    }
+
+    #[test]
+    fn mtbf_gain_is_inverse_of_surviving_fraction() {
+        let sums = vec![s(0.0001), s(0.0001), s(0.0001), s(1.0)];
+        let curve = ToleranceCurve::from_summaries("x", &sums, &[0.001]);
+        // 1 of 4 survives => FIT/4 => MTBF x4.
+        assert!((curve.mtbf_gain(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let curve = ToleranceCurve::from_summaries("x", &[], &paper_tolerances());
+        assert_eq!(curve.total, 0);
+        assert!(curve.fit_reduction_percent().iter().all(|&r| r == 0.0));
+    }
+}

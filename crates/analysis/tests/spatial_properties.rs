@@ -1,0 +1,110 @@
+//! Property-based tests for the spatial-pattern classifier (DESIGN.md §6):
+//! the classification must be invariant under translation of the corrupted
+//! region, and each generator of a pattern must classify as that pattern.
+
+use carolfi::output::Mismatch;
+use carolfi::record::DiffSummary;
+use proptest::prelude::*;
+use sdc_analysis::spatial::{classify, SpatialPattern};
+
+fn mismatches(coords: &[[usize; 3]]) -> Vec<Mismatch> {
+    coords.iter().map(|&coord| Mismatch { coord, expected: 1.0, got: 2.0, rel_err: 1.0 }).collect()
+}
+
+fn summary(coords: &[[usize; 3]], dims: [usize; 3]) -> DiffSummary {
+    DiffSummary::from_mismatches(&mismatches(coords), dims)
+}
+
+proptest! {
+    #[test]
+    fn any_single_coordinate_is_single(i in 0usize..64, j in 0usize..64) {
+        let s = summary(&[[i, j, 0]], [64, 64, 1]);
+        prop_assert_eq!(classify(&s), SpatialPattern::Single);
+    }
+
+    #[test]
+    fn any_row_run_is_a_line(row in 0usize..32, start in 0usize..24, len in 2usize..8) {
+        let coords: Vec<[usize; 3]> = (start..start + len).map(|j| [row, j, 0]).collect();
+        let s = summary(&coords, [32, 32, 1]);
+        prop_assert_eq!(classify(&s), SpatialPattern::Line);
+    }
+
+    #[test]
+    fn any_column_run_is_a_line(col in 0usize..32, start in 0usize..24, len in 2usize..8) {
+        let coords: Vec<[usize; 3]> = (start..start + len).map(|i| [i, col, 0]).collect();
+        let s = summary(&coords, [32, 32, 1]);
+        prop_assert_eq!(classify(&s), SpatialPattern::Line);
+    }
+
+    #[test]
+    fn any_dense_block_is_a_square(oi in 0usize..16, oj in 0usize..16, h in 2usize..5, w in 2usize..5) {
+        let mut coords = Vec::new();
+        for i in oi..oi + h {
+            for j in oj..oj + w {
+                coords.push([i, j, 0]);
+            }
+        }
+        let s = summary(&coords, [32, 32, 1]);
+        prop_assert_eq!(classify(&s), SpatialPattern::Square);
+    }
+
+    #[test]
+    fn classification_is_translation_invariant(
+        di in 0usize..10,
+        dj in 0usize..10,
+        pattern in prop::sample::select(vec![0usize, 1, 2]),
+    ) {
+        let base: Vec<[usize; 3]> = match pattern {
+            0 => vec![[1, 1, 0]],
+            1 => (0..5).map(|j| [3, j, 0]).collect(),
+            _ => (0..3).flat_map(|i| (0..3).map(move |j| [i, j, 0])).collect(),
+        };
+        let moved: Vec<[usize; 3]> = base.iter().map(|&[i, j, k]| [i + di, j + dj, k]).collect();
+        let a = classify(&summary(&base, [64, 64, 1]));
+        let b = classify(&summary(&moved, [64, 64, 1]));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classification_ignores_mismatch_order(seed in 0u64..1000) {
+        // A fixed scattered set, presented in two different orders.
+        let mut coords = vec![[0usize, 0, 0], [7, 13, 0], [21, 4, 0], [30, 30, 0], [14, 25, 0]];
+        let a = classify(&summary(&coords, [32, 32, 1]));
+        // Deterministic shuffle from the seed.
+        let n = coords.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % n;
+            coords.swap(i, j);
+        }
+        let b = classify(&summary(&coords, [32, 32, 1]));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_3d_blocks_are_cubic(h in 2usize..4, w in 2usize..4, d in 2usize..4) {
+        let mut coords = Vec::new();
+        for i in 0..h {
+            for j in 0..w {
+                for k in 0..d {
+                    coords.push([i, j, k]);
+                }
+            }
+        }
+        let s = summary(&coords, [8, 8, 8]);
+        prop_assert_eq!(classify(&s), SpatialPattern::Cubic);
+    }
+
+    #[test]
+    fn every_summary_classifies_without_panicking(
+        coords in prop::collection::vec((0usize..16, 0usize..16, 0usize..4), 1..40)
+    ) {
+        let mut uniq: Vec<[usize; 3]> = coords.into_iter().map(|(i, j, k)| [i, j, k]).collect();
+        uniq.sort();
+        uniq.dedup();
+        let s = summary(&uniq, [16, 16, 4]);
+        let p = classify(&s);
+        if uniq.len() == 1 {
+            prop_assert_eq!(p, SpatialPattern::Single);
+        }
+    }
+}

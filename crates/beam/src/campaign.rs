@@ -1,0 +1,329 @@
+//! Beam campaigns: strike-executions, outcome accounting, FIT estimation.
+//!
+//! The experimental methodology of paper §4.1: the device runs the benchmark
+//! back to back under the beam; output errors per execution are kept below
+//! 10⁻⁴ so at most one neutron contributes per run, and every mismatch or
+//! crash is logged. FIT scaling: with at most one strike per execution, the
+//! per-outcome cross-section is `σ_outcome = σ_raw · P(outcome | strike)`
+//! and `FIT = σ_outcome × flux × 10⁹`.
+//!
+//! Strikes whose architectural effect is benign (hit dead state, or
+//! corrected by SECDED) don't need the program executed at all — only silent
+//! corruptions and machine checks run the victim, which is what makes a
+//! 57 000-year campaign simulable in seconds.
+
+use crate::effects::BeamApplicator;
+use crate::flux::FluxEnvironment;
+use carolfi::output::Output;
+use carolfi::record::{OutcomeRecord, TrialRecord};
+use carolfi::supervisor::{run_trial, TrialConfig, TrialOutcome};
+use carolfi::target::FaultTarget;
+use phidev::mca::{McaLog, McaSeverity};
+use phidev::strike::{ArchEffect, StrikeEngine};
+use rand::Rng;
+use sdc_analysis::fit::FitEstimate;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Calibrated total sensitive cross-section of the modelled 3120A, cm².
+///
+/// Proprietary silicon data in reality (paper §4.2: "radiation experiments
+/// alone cannot provide the exact answer without additional (proprietary)
+/// details about the hardware"); chosen so the most SDC-sensitive benchmark
+/// lands near the paper's ≈193 FIT ceiling.
+pub const SIGMA_RAW_CM2: f64 = 9.0e-8;
+
+/// Per-benchmark control-flow densities used to build the strike engine for
+/// the Fig. 2 reproduction. Derived from each benchmark's character (paper
+/// §3.2, §4.2): HotSpot is a memory-bound stencil full of branches and
+/// address arithmetic; CLAMR's mesh bookkeeping is branchy but interleaved
+/// with dense flux math; LUD mixes panel logic with BLAS-like updates;
+/// DGEMM and LavaMD are regular, compute-bound SIMD codes.
+pub fn control_flow_density(benchmark: &str) -> f64 {
+    match benchmark {
+        "hotspot" => 0.50,
+        "clamr" => 0.22,
+        "lud" => 0.28,
+        "nw" => 0.35,
+        "dgemm" => 0.10,
+        "lavamd" => 0.10,
+        _ => 0.25,
+    }
+}
+
+/// Per-benchmark memory-boundedness (0 = compute-bound, 1 = streaming):
+/// memory-bound codes keep a larger share of cache/register state live, so
+/// more storage strikes land on data that matters (paper §4.2 attributes
+/// HotSpot's and LUD's high SDC FIT to their data-intensive single-precision
+/// stencil/solver structure).
+pub fn memory_boundedness(benchmark: &str) -> f64 {
+    match benchmark {
+        "hotspot" => 0.85,
+        "lud" => 0.55,
+        "nw" => 0.55,
+        "clamr" => 0.40,
+        "dgemm" => 0.25,
+        "lavamd" => 0.15,
+        _ => 0.4,
+    }
+}
+
+/// The strike engine configured for a benchmark's control-flow density and
+/// memory-boundedness.
+pub fn engine_for(benchmark: &str) -> StrikeEngine {
+    let mut tuning = phidev::strike::StrikeTuning::with_control_flow_density(control_flow_density(benchmark));
+    tuning.live_data_fraction = 0.25 + 0.5 * memory_boundedness(benchmark);
+    StrikeEngine::new(phidev::resources::ResourceInventory::knc3120a(), tuning)
+}
+
+/// Beam campaign parameters.
+#[derive(Debug, Clone)]
+pub struct BeamConfig {
+    /// Number of strike-executions to simulate.
+    pub strikes: usize,
+    pub seed: u64,
+    /// Worker threads (0 ⇒ all cores).
+    pub workers: usize,
+    pub watchdog_factor: f64,
+    /// Windows for the record bookkeeping.
+    pub n_windows: usize,
+    /// Device model.
+    pub engine: StrikeEngine,
+    /// Environment the FIT is scaled to.
+    pub environment: FluxEnvironment,
+    /// Raw device cross-section, cm².
+    pub sigma_raw: f64,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        BeamConfig {
+            strikes: 2000,
+            seed: 0xBEA3,
+            workers: 0,
+            watchdog_factor: 4.0,
+            n_windows: 4,
+            engine: StrikeEngine::knc3120a(),
+            environment: FluxEnvironment::sea_level(),
+            sigma_raw: SIGMA_RAW_CM2,
+        }
+    }
+}
+
+/// A completed beam campaign.
+#[derive(Debug, Clone)]
+pub struct BeamCampaign {
+    pub benchmark: String,
+    /// One record per strike (benign strikes appear as `HardwareMasked`).
+    pub records: Vec<TrialRecord>,
+    /// Machine-check events (corrected + uncorrectable).
+    pub mca: McaLog,
+    pub sigma_raw: f64,
+    pub environment: FluxEnvironment,
+}
+
+impl BeamCampaign {
+    /// Equivalent fluence represented by the simulated strikes, n/cm².
+    pub fn fluence(&self) -> f64 {
+        self.records.len() as f64 / self.sigma_raw
+    }
+
+    fn estimate(&self, events: usize) -> FitEstimate {
+        FitEstimate { events, fluence: self.fluence(), flux: self.environment.flux }
+    }
+
+    /// SDC FIT estimate.
+    pub fn fit_sdc(&self) -> FitEstimate {
+        self.estimate(self.records.iter().filter(|r| r.outcome.is_sdc()).count())
+    }
+
+    /// DUE FIT estimate.
+    pub fn fit_due(&self) -> FitEstimate {
+        self.estimate(self.records.iter().filter(|r| r.outcome.is_due()).count())
+    }
+
+    /// The SDC summaries (for spatial/tolerance analysis downstream).
+    pub fn sdc_summaries(&self) -> Vec<&carolfi::record::DiffSummary> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                OutcomeRecord::Sdc(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Observed output-error rate per execution (the paper keeps the real
+    /// one below 1e-4 by tuning beam intensity; the simulated campaign
+    /// reports the conditional rate per *strike*, which bounds it).
+    pub fn error_rate_per_strike(&self) -> f64 {
+        let errors = self.records.iter().filter(|r| r.outcome.is_sdc() || r.outcome.is_due()).count();
+        errors as f64 / self.records.len().max(1) as f64
+    }
+
+    /// Natural-environment hours represented by this campaign.
+    pub fn natural_hours(&self) -> f64 {
+        self.fluence() / self.environment.flux
+    }
+}
+
+/// Runs a beam campaign against targets built by `factory`.
+pub fn run_beam_campaign<T, F>(benchmark: &str, factory: F, golden: &Output, cfg: &BeamConfig) -> BeamCampaign
+where
+    T: FaultTarget,
+    F: Fn() -> T + Sync,
+{
+    let _quiet = carolfi::panic_guard::silence_panics();
+    let total_steps = factory().total_steps().max(1);
+    let next = AtomicUsize::new(0);
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+    let workers = workers.min(cfg.strikes.max(1));
+    let slots: Vec<parking_lot::Mutex<Option<(TrialRecord, Option<McaSeverity>, &'static str)>>> =
+        (0..cfg.strikes).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let strike = next.fetch_add(1, Ordering::Relaxed);
+                if strike >= cfg.strikes {
+                    break;
+                }
+                let mut rng = carolfi::rng::fork(cfg.seed, strike as u64);
+                let (resource, effect) = cfg.engine.strike(&mut rng);
+                let inject_step = rng.gen_range(0..total_steps);
+                let mca_event = match effect {
+                    ArchEffect::Corrected => Some(McaSeverity::Corrected),
+                    ArchEffect::DetectedUncorrectable => Some(McaSeverity::Uncorrectable),
+                    _ => None,
+                };
+
+                // Benign strikes don't need an execution.
+                let (outcome, injection, executed) = if effect.is_benign() {
+                    (OutcomeRecord::HardwareMasked, None, 0)
+                } else {
+                    let mut applicator = BeamApplicator { effect, resource: resource.label() };
+                    let result = run_trial(
+                        factory(),
+                        golden,
+                        &mut applicator,
+                        TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
+                        &mut rng,
+                    );
+                    let outcome = match result.outcome {
+                        TrialOutcome::Masked => OutcomeRecord::Masked,
+                        TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
+                        TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
+                        TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
+                    };
+                    (outcome, result.injection, result.executed_steps)
+                };
+
+                let record = TrialRecord {
+                    trial: strike,
+                    benchmark: benchmark.to_string(),
+                    model: None,
+                    mechanism: format!("beam:{}:{}", resource.label(), effect.label()),
+                    inject_step,
+                    total_steps,
+                    window: carolfi::campaign::window_of(inject_step, total_steps, cfg.n_windows),
+                    n_windows: cfg.n_windows,
+                    injection,
+                    outcome,
+                    executed_steps: executed,
+                };
+                *slots[strike].lock() = Some((record, mca_event, resource.label()));
+            });
+        }
+    })
+    .expect("beam worker panicked outside a trial");
+
+    let mut records = Vec::with_capacity(cfg.strikes);
+    let mut mca = McaLog::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (record, mca_event, resource) = slot.into_inner().expect("strike record missing");
+        if let Some(sev) = mca_event {
+            let kind = cfg
+                .engine
+                .inventory
+                .specs()
+                .iter()
+                .find(|s| s.kind.label() == resource)
+                .map(|s| s.kind)
+                .unwrap_or(phidev::resources::ResourceKind::L2Cache);
+            mca.record(sev, kind, i as u64);
+        }
+        records.push(record);
+    }
+    BeamCampaign { benchmark: benchmark.to_string(), records, mca, sigma_raw: cfg.sigma_raw, environment: cfg.environment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::{build, golden, Benchmark, SizeClass};
+
+    fn mini_campaign(b: Benchmark, strikes: usize) -> BeamCampaign {
+        let g = golden(b, SizeClass::Test);
+        let cfg = BeamConfig { strikes, seed: 11, n_windows: b.n_windows(), ..Default::default() };
+        run_beam_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg)
+    }
+
+    #[test]
+    fn campaign_produces_records_for_every_strike() {
+        let c = mini_campaign(Benchmark::Dgemm, 300);
+        assert_eq!(c.records.len(), 300);
+    }
+
+    #[test]
+    fn most_strikes_are_benign() {
+        // Paper §4.1 tunes the beam so errors stay rare; the device model
+        // must mask the overwhelming majority of strikes.
+        let c = mini_campaign(Benchmark::Dgemm, 500);
+        assert!(c.error_rate_per_strike() < 0.5, "error rate {}", c.error_rate_per_strike());
+        let hw_masked = c.records.iter().filter(|r| matches!(r.outcome, OutcomeRecord::HardwareMasked)).count();
+        assert!(hw_masked > 100);
+    }
+
+    #[test]
+    fn sdc_and_due_events_occur() {
+        let c = mini_campaign(Benchmark::Lud, 600);
+        assert!(c.fit_sdc().events > 0, "no SDC in {} strikes", c.records.len());
+        assert!(c.fit_due().events > 0, "no DUE in {} strikes", c.records.len());
+    }
+
+    #[test]
+    fn ecc_produces_corrected_mca_events() {
+        let c = mini_campaign(Benchmark::Hotspot, 500);
+        assert!(c.mca.corrected_count() > 0, "SECDED should log corrected events");
+        assert!(c.mca.corrected_count() > c.mca.uncorrectable_count());
+    }
+
+    #[test]
+    fn fit_is_positive_and_finite() {
+        let c = mini_campaign(Benchmark::Lud, 600);
+        let fit = c.fit_sdc().fit();
+        assert!(fit.is_finite() && fit > 0.0);
+        // FIT must be in a physically plausible range (paper: tens to ~200).
+        assert!(fit < 5000.0, "FIT {fit} absurdly high");
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = mini_campaign(Benchmark::Nw, 200);
+        let b = mini_campaign(Benchmark::Nw, 200);
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.mechanism, rb.mechanism);
+            assert_eq!(ra.outcome.label(), rb.outcome.label());
+        }
+    }
+
+    #[test]
+    fn natural_hours_scale_with_strikes() {
+        let c = mini_campaign(Benchmark::Dgemm, 200);
+        let expected = 200.0 / SIGMA_RAW_CM2 / 13.0;
+        assert!((c.natural_hours() - expected).abs() / expected < 1e-9);
+    }
+}

@@ -1,0 +1,318 @@
+//! From architectural strike effects to corrupted program state.
+//!
+//! A [`phidev::strike::ArchEffect`] describes *how far* an unmasked upset
+//! smears; this module lands it in the victim's actual variables through the
+//! same [`FaultApplicator`] interface CAROL-FI uses. Unlike the source-level
+//! injector — which picks variables the way GDB's frame walk does — a
+//! particle strike hits physical storage, so data-scope effects select
+//! variables **proportionally to their size in bytes**, and control-scope
+//! effects land in the per-thread control state the struck core was holding.
+//!
+//! The scope distinctions are what generate the paper's multi-element
+//! spatial patterns (§4.3): a corrupted shared resource (dispatch, ring,
+//! vector lane logic) corrupts several values at once, while iterative
+//! kernels spread even single-word upsets during the remaining computation.
+
+use carolfi::models::{FaultApplicator, InjectionDetail};
+use carolfi::target::{VarClass, Variable};
+use phidev::strike::{ArchEffect, CorruptionScope};
+use phidev::topology::KNC_HW_THREADS;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Applies one architectural effect to the paused victim.
+#[derive(Debug, Clone)]
+pub struct BeamApplicator {
+    pub effect: ArchEffect,
+    /// Resource the strike hit (for the log).
+    pub resource: &'static str,
+}
+
+/// Is this variable bulk data a memory/datapath strike can land in?
+fn is_data(class: VarClass) -> bool {
+    matches!(class, VarClass::Matrix | VarClass::InputArray | VarClass::Buffer | VarClass::SortState | VarClass::TreeState | VarClass::MeshOther)
+}
+
+/// Is this per-thread state a core-resident register/latch strike can hit?
+fn is_thread_state(v: &Variable<'_>) -> bool {
+    v.info.thread.is_some()
+}
+
+fn detail(v: &Variable<'_>, elem_index: usize, bits: Vec<u32>, mechanism: String) -> InjectionDetail {
+    InjectionDetail {
+        var_name: v.info.name.to_string(),
+        var_class: v.info.class,
+        frame: v.info.frame.label().to_string(),
+        thread: v.info.thread,
+        decl: format!("{}:{}", v.info.file, v.info.line),
+        elem_index,
+        bits,
+        mechanism,
+    }
+}
+
+/// Exposure weight of a variable to storage strikes. Read-only inputs live
+/// in the shielded DRAM (paper §4.1: "On board DRAM data was not
+/// irradiated"); only their transiently cached fraction is exposed.
+const INPUT_EXPOSURE: f64 = 0.25;
+
+fn exposure(v: &Variable<'_>) -> f64 {
+    let w = v.bytes.len() as f64;
+    if v.info.class == VarClass::InputArray {
+        w * INPUT_EXPOSURE
+    } else {
+        w
+    }
+}
+
+/// Exposure-weighted choice among a pool of variable indices.
+fn pick_by_bytes<R: Rng>(vars: &[Variable<'_>], pool: &[usize], rng: &mut R) -> Option<usize> {
+    let total: f64 = pool.iter().map(|&i| exposure(&vars[i])).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for &i in pool {
+        if x < exposure(&vars[i]) {
+            return Some(i);
+        }
+        x -= exposure(&vars[i]);
+    }
+    pool.last().copied()
+}
+
+fn flip_bits_in_elem<R: Rng>(var: &mut Variable<'_>, elem: usize, nbits: usize, rng: &mut R) -> Vec<u32> {
+    let es = var.elem_size;
+    let word = &mut var.bytes[elem * es..(elem + 1) * es];
+    let total_bits = (es * 8) as u32;
+    let mut bits = Vec::with_capacity(nbits);
+    for _ in 0..nbits {
+        let b = rng.gen_range(0..total_bits);
+        word[(b / 8) as usize] ^= 1 << (b % 8);
+        bits.push(b);
+    }
+    bits.sort_unstable();
+    bits.dedup();
+    bits
+}
+
+impl FaultApplicator for BeamApplicator {
+    fn apply(&mut self, vars: &mut [Variable<'_>], rng: &mut StdRng) -> Option<InjectionDetail> {
+        let mech = |scope: &str| format!("beam:{}:{}", self.resource, scope);
+        match self.effect {
+            ArchEffect::NoEffect | ArchEffect::Corrected => None,
+            ArchEffect::DetectedUncorrectable => {
+                panic!("MCERR: uncorrectable ECC error on {}", self.resource)
+            }
+            ArchEffect::ParityDetected => {
+                panic!("parity error detected on {}", self.resource)
+            }
+            ArchEffect::ControlFlowCrash => {
+                panic!("control flow derailed by upset in {}", self.resource)
+            }
+            ArchEffect::SilentCorruption { scope, multi_bit } => {
+                let nbits = if multi_bit { 2 } else { 1 };
+                match scope {
+                    CorruptionScope::SingleWord => {
+                        let pool: Vec<usize> = (0..vars.len()).filter(|&i| is_data(vars[i].info.class) && !vars[i].bytes.is_empty()).collect();
+                        let i = pick_by_bytes(vars, &pool, rng)?;
+                        let elem = rng.gen_range(0..vars[i].elem_count());
+                        let bits = flip_bits_in_elem(&mut vars[i], elem, nbits, rng);
+                        Some(detail(&vars[i], elem, bits, mech("word")))
+                    }
+                    CorruptionScope::VectorLanes { lanes } => {
+                        let pool: Vec<usize> = (0..vars.len()).filter(|&i| is_data(vars[i].info.class) && vars[i].elem_count() >= 2).collect();
+                        let i = pick_by_bytes(vars, &pool, rng)?;
+                        let n = vars[i].elem_count();
+                        let lanes = lanes.min(n);
+                        let start = rng.gen_range(0..=n - lanes);
+                        // A stuck bit column across the register's lanes.
+                        let bit = rng.gen_range(0..(vars[i].elem_size * 8) as u32);
+                        let es = vars[i].elem_size;
+                        for l in 0..lanes {
+                            vars[i].bytes[(start + l) * es + (bit / 8) as usize] ^= 1 << (bit % 8);
+                        }
+                        Some(detail(&vars[i], start, vec![bit], mech("vector")))
+                    }
+                    CorruptionScope::CacheLine { bytes } => {
+                        let pool: Vec<usize> = (0..vars.len()).filter(|&i| is_data(vars[i].info.class) && !vars[i].bytes.is_empty()).collect();
+                        let i = pick_by_bytes(vars, &pool, rng)?;
+                        let len = vars[i].bytes.len();
+                        let span = bytes.min(len);
+                        let start = (rng.gen_range(0..len) / span) * span;
+                        let end = (start + span).min(len);
+                        // The in-flight flit upset flips a couple of bits in
+                        // every word of the line (a garbled transfer, not a
+                        // wholesale randomisation).
+                        let es = vars[i].elem_size;
+                        let first_elem = start / es;
+                        let last_elem = (end.saturating_sub(1)) / es;
+                        for elem in first_elem..=last_elem {
+                            flip_bits_in_elem(&mut vars[i], elem, 2, rng);
+                        }
+                        Some(detail(&vars[i], first_elem, vec![], mech("cache-line")))
+                    }
+                    CorruptionScope::ThreadControl => {
+                        let pool: Vec<usize> = (0..vars.len()).filter(|&i| is_thread_state(&vars[i])).collect();
+                        if pool.is_empty() {
+                            return None;
+                        }
+                        let i = pool[rng.gen_range(0..pool.len())];
+                        let elem = rng.gen_range(0..vars[i].elem_count());
+                        let bits = flip_bits_in_elem(&mut vars[i], elem, nbits, rng);
+                        Some(detail(&vars[i], elem, bits, mech("thread-ctrl")))
+                    }
+                    CorruptionScope::CoreShared => {
+                        // One core's worth of hardware threads sees the same
+                        // corrupted shared state: flip the same bit of the
+                        // same-named variable for every sibling thread.
+                        let pool: Vec<usize> = (0..vars.len()).filter(|&i| is_thread_state(&vars[i])).collect();
+                        if pool.is_empty() {
+                            return None;
+                        }
+                        let anchor = pool[rng.gen_range(0..pool.len())];
+                        let name = vars[anchor].info.name;
+                        let core = vars[anchor].info.thread.expect("thread state") / KNC_HW_THREADS as u16;
+                        let bit = rng.gen_range(0..(vars[anchor].elem_size * 8) as u32);
+                        let mut touched = 0;
+                        for i in 0..vars.len() {
+                            let info = vars[i].info;
+                            if info.name == name
+                                && info.thread.map(|t| t / KNC_HW_THREADS as u16) == Some(core)
+                                && vars[i].elem_size == vars[anchor].elem_size
+                            {
+                                vars[i].bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                                touched += 1;
+                            }
+                        }
+                        debug_assert!(touched >= 1);
+                        Some(detail(&vars[anchor], 0, vec![bit], mech("core-shared")))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carolfi::rng::fork;
+    use carolfi::target::VarInfo;
+
+    fn state() -> (Vec<f64>, Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) {
+        (vec![1.0; 512], vec![7; 1], vec![7; 1], vec![7; 1], vec![7; 1])
+    }
+
+    fn vars_of<'a>(
+        m: &'a mut [f64],
+        t0: &'a mut [u64],
+        t1: &'a mut [u64],
+        t4: &'a mut [u64],
+        k: &'a mut [u64],
+    ) -> Vec<Variable<'a>> {
+        vec![
+            Variable::from_slice(VarInfo::global("matrix", VarClass::Matrix, file!(), 1), m),
+            Variable::from_slice(VarInfo::local("ctrl", VarClass::ControlVariable, "f", 0, file!(), 2), t0),
+            Variable::from_slice(VarInfo::local("ctrl", VarClass::ControlVariable, "f", 1, file!(), 3), t1),
+            Variable::from_slice(VarInfo::local("ctrl", VarClass::ControlVariable, "f", 4, file!(), 4), t4),
+            Variable::from_slice(VarInfo::global("konst", VarClass::Constant, file!(), 5), k),
+        ]
+    }
+
+    #[test]
+    fn benign_effects_apply_nothing() {
+        for effect in [ArchEffect::NoEffect, ArchEffect::Corrected] {
+            let (mut m, mut a, mut b, mut c, mut k) = state();
+            let mut vars = vars_of(&mut m, &mut a, &mut b, &mut c, &mut k);
+            let mut app = BeamApplicator { effect, resource: "l2-cache" };
+            assert!(app.apply(&mut vars, &mut fork(1, 0)).is_none());
+            assert!(m.iter().all(|&x| x == 1.0));
+        }
+    }
+
+    #[test]
+    fn machine_checks_panic_as_due() {
+        let _quiet = carolfi::panic_guard::silence_panics();
+        let (mut m, mut a, mut b, mut c, mut k) = state();
+        let mut vars = vars_of(&mut m, &mut a, &mut b, &mut c, &mut k);
+        let mut app = BeamApplicator { effect: ArchEffect::DetectedUncorrectable, resource: "l2-cache" };
+        let mut rng = fork(2, 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| app.apply(&mut vars, &mut rng)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn single_word_corrupts_one_data_element() {
+        let (mut m, mut a, mut b, mut c, mut k) = state();
+        {
+            let mut vars = vars_of(&mut m, &mut a, &mut b, &mut c, &mut k);
+            let mut app = BeamApplicator {
+                effect: ArchEffect::SilentCorruption { scope: CorruptionScope::SingleWord, multi_bit: false },
+                resource: "pipeline-latch",
+            };
+            let d = app.apply(&mut vars, &mut fork(3, 0)).expect("applied");
+            assert_eq!(d.var_name, "matrix");
+            assert_eq!(d.bits.len(), 1);
+        }
+        let changed = m.iter().filter(|&&x| x != 1.0).count();
+        assert_eq!(changed, 1);
+        assert_eq!(a[0], 7); // control untouched by a datapath strike
+    }
+
+    #[test]
+    fn vector_lanes_touch_consecutive_elements() {
+        let (mut m, mut a, mut b, mut c, mut k) = state();
+        {
+            let mut vars = vars_of(&mut m, &mut a, &mut b, &mut c, &mut k);
+            let mut app = BeamApplicator {
+                effect: ArchEffect::SilentCorruption { scope: CorruptionScope::VectorLanes { lanes: 8 }, multi_bit: false },
+                resource: "vector-regfile",
+            };
+            app.apply(&mut vars, &mut fork(4, 0)).expect("applied");
+        }
+        let changed: Vec<usize> = m.iter().enumerate().filter(|(_, &x)| x != 1.0).map(|(i, _)| i).collect();
+        assert_eq!(changed.len(), 8);
+        assert_eq!(changed[7] - changed[0], 7, "lanes must be consecutive: {changed:?}");
+    }
+
+    #[test]
+    fn cache_line_garbles_a_contiguous_span() {
+        let (mut m, mut a, mut b, mut c, mut k) = state();
+        {
+            let mut vars = vars_of(&mut m, &mut a, &mut b, &mut c, &mut k);
+            let mut app = BeamApplicator {
+                effect: ArchEffect::SilentCorruption { scope: CorruptionScope::CacheLine { bytes: 64 }, multi_bit: true },
+                resource: "ring",
+            };
+            app.apply(&mut vars, &mut fork(5, 0)).expect("applied");
+        }
+        let changed: Vec<usize> = m.iter().enumerate().filter(|(_, &x)| x != 1.0).map(|(i, _)| i).collect();
+        assert!(!changed.is_empty() && changed.len() <= 8);
+        assert!(changed.last().unwrap() - changed.first().unwrap() < 8);
+    }
+
+    #[test]
+    fn core_shared_hits_all_siblings_of_one_core() {
+        let (mut m, mut a, mut b, mut c, mut k) = state();
+        {
+            let mut vars = vars_of(&mut m, &mut a, &mut b, &mut c, &mut k);
+            let mut app = BeamApplicator {
+                effect: ArchEffect::SilentCorruption { scope: CorruptionScope::CoreShared, multi_bit: true },
+                resource: "dispatch",
+            };
+            app.apply(&mut vars, &mut fork(6, 0)).expect("applied");
+        }
+        // Threads 0 and 1 share core 0; thread 4 is on core 1.
+        let core0_changed = (a[0] != 7) as usize + (b[0] != 7) as usize;
+        let core1_changed = (c[0] != 7) as usize;
+        assert!(
+            (core0_changed == 2 && core1_changed == 0) || (core0_changed == 0 && core1_changed == 1),
+            "corruption must cover exactly one core's siblings: a={} b={} c={}",
+            a[0],
+            b[0],
+            c[0]
+        );
+        assert!(m.iter().all(|&x| x == 1.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Neutron flux environments (paper §2.1, §4.1; JESD89A).
+//!
+//! "A flux of about 13 neutrons/((cm²) × h) reaches ground at sea level, and
+//! the flux exponentially increases with altitude." The LANSCE beam runs
+//! "about between 1 × 10⁵ n/(cm²/s) and 2.5 × 10⁶ n/(cm²/s), about 6 to 8
+//! orders of magnitude higher than the atmospheric neutron flux at sea
+//! level."
+
+use serde::{Deserialize, Serialize};
+
+/// Sea-level reference flux, n/(cm²·h).
+pub const SEA_LEVEL_FLUX: f64 = 13.0;
+/// Lower LANSCE beam flux, n/(cm²·s).
+pub const LANSCE_FLUX_LOW: f64 = 1.0e5;
+/// Upper LANSCE beam flux, n/(cm²·s).
+pub const LANSCE_FLUX_HIGH: f64 = 2.5e6;
+/// Atmospheric-depth scale for the altitude model, in metres of equivalent
+/// exponential lapse — fitted so Leadville, CO (3094 m) sees the ≈13× sea
+/// level flux JESD89A reports (flux roughly doubles every ~840 m low down).
+const ALTITUDE_SCALE_M: f64 = 1206.0;
+
+/// A neutron environment a device is exposed to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluxEnvironment {
+    /// Flux in n/(cm²·h).
+    pub flux: f64,
+}
+
+impl FluxEnvironment {
+    /// New York City sea-level reference.
+    pub fn sea_level() -> Self {
+        FluxEnvironment { flux: SEA_LEVEL_FLUX }
+    }
+
+    /// Terrestrial flux at `altitude_m` metres (JESD89A exponential model,
+    /// valid to ~3 km; Leadville-class sites see ≈13× sea level at 3.1 km).
+    pub fn at_altitude(altitude_m: f64) -> Self {
+        FluxEnvironment { flux: SEA_LEVEL_FLUX * (altitude_m / ALTITUDE_SCALE_M).exp() }
+    }
+
+    /// The LANSCE beam at a given flux in n/(cm²·s).
+    pub fn lansce(flux_per_second: f64) -> Self {
+        FluxEnvironment { flux: flux_per_second * 3600.0 }
+    }
+
+    /// Acceleration factor over the sea-level environment.
+    pub fn acceleration(&self) -> f64 {
+        self.flux / SEA_LEVEL_FLUX
+    }
+
+    /// Fluence accumulated over `hours` of exposure, n/cm².
+    pub fn fluence(&self, hours: f64) -> f64 {
+        self.flux * hours
+    }
+
+    /// Natural-environment hours equivalent to `hours` in this environment.
+    pub fn natural_equivalent_hours(&self, hours: f64) -> f64 {
+        hours * self.acceleration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lansce_acceleration_is_6_to_8_orders_of_magnitude() {
+        let lo = FluxEnvironment::lansce(LANSCE_FLUX_LOW).acceleration();
+        let hi = FluxEnvironment::lansce(LANSCE_FLUX_HIGH).acceleration();
+        assert!(lo >= 1e6 && lo < 1e8, "low acceleration {lo}");
+        assert!(hi > 1e8 && hi < 1e9, "high acceleration {hi}");
+    }
+
+    #[test]
+    fn paper_beam_campaign_covers_57000_years() {
+        // ">500 hours of beam time … at least 5×10⁸ hours of normal
+        // operations, which are 57,000 years."
+        let env = FluxEnvironment::lansce(LANSCE_FLUX_HIGH);
+        let natural_hours = env.natural_equivalent_hours(500.0);
+        assert!(natural_hours >= 5e8, "got {natural_hours}");
+        assert!(natural_hours / (24.0 * 365.0) >= 57_000.0);
+    }
+
+    #[test]
+    fn altitude_increases_flux_exponentially() {
+        let sea = FluxEnvironment::at_altitude(0.0);
+        assert!((sea.flux - SEA_LEVEL_FLUX).abs() < 1e-9);
+        let denver = FluxEnvironment::at_altitude(1609.0);
+        assert!(denver.flux > 3.0 * SEA_LEVEL_FLUX && denver.flux < 5.5 * SEA_LEVEL_FLUX, "Denver {denver:?}");
+        let leadville = FluxEnvironment::at_altitude(3094.0);
+        assert!(leadville.flux > denver.flux);
+        assert!((10.0..20.0).contains(&(leadville.flux / SEA_LEVEL_FLUX)), "Leadville factor {}", leadville.flux / SEA_LEVEL_FLUX);
+    }
+
+    #[test]
+    fn fluence_accumulates_linearly() {
+        let env = FluxEnvironment::sea_level();
+        assert!((env.fluence(2.0) - 26.0).abs() < 1e-12);
+    }
+}

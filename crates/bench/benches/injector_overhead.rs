@@ -1,0 +1,76 @@
+//! Injector overhead — the paper's §5.1 performance claim.
+//!
+//! "CAROL-FI is very fast. On the average, its overhead is about 4× the
+//! normal execution time, with a worst case of 8×", because GDB forces
+//! debug-mode compilation. Our injector needs no debugger: the supervised
+//! trial adds only the step-boundary bookkeeping, one frame-walk/variable
+//! enumeration at the interrupt, and the golden comparison. The three
+//! benchmarks here measure (a) the raw run, (b) a supervised masked trial,
+//! and (c) a full trial with a fault applied — their ratios are this
+//! reproduction's analogue of the 4×/8× figure.
+
+use carolfi::models::{CarolFiApplicator, FaultModel, InjectionDetail};
+use carolfi::supervisor::{run_trial, TrialConfig};
+use carolfi::target::{StepOutcome, Variable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::{build, golden, Benchmark, SizeClass};
+use std::hint::black_box;
+
+/// Applies a fault that changes nothing (flips a bit twice), so the
+/// supervised run proceeds to completion and the golden comparison runs —
+/// the full cost of supervision without an actual outcome change.
+struct NullFault;
+impl carolfi::models::FaultApplicator for NullFault {
+    fn apply(&mut self, vars: &mut [Variable<'_>], _: &mut rand::rngs::StdRng) -> Option<InjectionDetail> {
+        let v = &mut vars[0];
+        v.bytes[0] ^= 1;
+        v.bytes[0] ^= 1;
+        Some(InjectionDetail {
+            var_name: v.info.name.into(),
+            var_class: v.info.class,
+            frame: v.info.frame.label().into(),
+            thread: v.info.thread,
+            decl: String::new(),
+            elem_index: 0,
+            bits: vec![],
+            mechanism: "null".into(),
+        })
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let b = Benchmark::Hotspot;
+    let gold = golden(b, SizeClass::Test);
+    let mut group = c.benchmark_group("injector_overhead");
+    group.sample_size(20);
+
+    group.bench_function("raw_run", |bench| {
+        bench.iter(|| {
+            let mut t = build(b, SizeClass::Test);
+            while t.step() == StepOutcome::Continue {}
+            black_box(t.output().len())
+        });
+    });
+
+    group.bench_function("supervised_masked_trial", |bench| {
+        bench.iter(|| {
+            let mut rng = carolfi::rng::fork(1, 0);
+            let r = run_trial(build(b, SizeClass::Test), &gold, &mut NullFault, TrialConfig { inject_step: 10, ..Default::default() }, &mut rng);
+            black_box(r.executed_steps)
+        });
+    });
+
+    group.bench_function("supervised_with_fault", |bench| {
+        let _quiet = carolfi::panic_guard::silence_panics();
+        bench.iter(|| {
+            let mut rng = carolfi::rng::fork(2, 0);
+            let mut app = CarolFiApplicator::new(FaultModel::Single);
+            let r = run_trial(build(b, SizeClass::Test), &gold, &mut app, TrialConfig { inject_step: 10, ..Default::default() }, &mut rng);
+            black_box(r.executed_steps)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Throughput of the six benchmark ports (fault-free golden runs).
+//!
+//! Not a paper figure by itself, but the baseline every overhead claim
+//! (injector, ABFT, residue) is measured against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::{build, Benchmark, SizeClass};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("golden_run");
+    group.sample_size(10);
+    for b in Benchmark::ALL {
+        group.bench_function(b.label(), |bench| {
+            bench.iter(|| {
+                let mut t = build(b, SizeClass::Test);
+                while t.step() == carolfi::target::StepOutcome::Continue {}
+                black_box(t.output().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

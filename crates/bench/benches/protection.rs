@@ -1,0 +1,87 @@
+//! Overheads of the mitigation techniques (paper §6.1's cost side).
+//!
+//! * SECDED(72,64) encode/decode throughput — the ECC in every cache line;
+//! * ABFT-checked matrix product vs the plain product — Huang & Abraham's
+//!   classic result is that the checksums add O(n²) work to an O(n³)
+//!   computation;
+//! * residue-checked integer arithmetic vs raw arithmetic — the 2-bit mod-3
+//!   check the paper suggests for the algebraic kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mitigation::abft::AbftCheckedProduct;
+use mitigation::residue::ResidueChecked;
+use phidev::ecc::SecdedCodec;
+use rand::Rng;
+use std::hint::black_box;
+
+fn bench_ecc(c: &mut Criterion) {
+    let codec = SecdedCodec;
+    let mut group = c.benchmark_group("secded");
+    group.bench_function("encode_decode_word", |bench| {
+        let mut x = 0xdead_beef_cafe_babeu64;
+        bench.iter(|| {
+            x = x.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let cw = codec.encode(x);
+            black_box(codec.decode(cw))
+        });
+    });
+    group.finish();
+}
+
+fn bench_abft(c: &mut Criterion) {
+    let n = 64;
+    let mut rng = carolfi::rng::fork(0xBE, 0);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut group = c.benchmark_group("abft");
+    group.sample_size(20);
+    group.bench_function("plain_multiply", |bench| {
+        bench.iter(|| {
+            let mut cm = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += a[i * n + k] * b[k * n + j];
+                    }
+                    cm[i * n + j] = acc;
+                }
+            }
+            black_box(cm[0])
+        });
+    });
+    group.bench_function("abft_multiply_and_verify", |bench| {
+        bench.iter(|| {
+            let mut p = AbftCheckedProduct::multiply(&a, &b, n);
+            black_box(p.verify_and_correct())
+        });
+    });
+    group.finish();
+}
+
+fn bench_residue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residue");
+    group.bench_function("raw_i64_macs", |bench| {
+        bench.iter(|| {
+            let mut acc = 1i64;
+            for i in 0..1000i64 {
+                acc = acc.wrapping_mul(3).wrapping_add(i);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("mod15_checked_macs", |bench| {
+        bench.iter(|| {
+            let mut acc = ResidueChecked::<15>::new(1);
+            let three = ResidueChecked::<15>::new(3);
+            for i in 0..1000i64 {
+                acc = acc.mul(three).add(ResidueChecked::new(i));
+            }
+            black_box(acc.check())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ecc, bench_abft, bench_residue);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 3 — "FIT decrease rate as a function of relative error tolerance."
+//!
+//! For every beam benchmark, prints the SDC-FIT reduction (%) when outputs
+//! within a relative tolerance of the golden value are accepted, over the
+//! paper's 0.1%–15% tolerance grid, plus the headline numbers the paper
+//! quotes (HotSpot −85% at 0.5%, ×20 MTBF at 2%; ≥25% drop for everyone at
+//! the smallest tolerance; CLAMR and DGEMM flattest).
+
+use bench::{beam_records, rule, RunConfig};
+use kernels::Benchmark;
+use sdc_analysis::tolerance::{paper_tolerances, ToleranceCurve};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let tolerances = paper_tolerances();
+    println!("Figure 3 reproduction — SDC FIT reduction vs tolerated relative error");
+    println!("strikes/benchmark = {}, size = {:?}, seed = {}\n", cfg.strikes, cfg.size, cfg.seed);
+    print!("{:9}", "bench");
+    for t in &tolerances {
+        print!(" {:>7}", format!("{:.1}%", t * 100.0));
+    }
+    println!("   (FIT reduction %)");
+    rule(9 + 8 * tolerances.len() + 20);
+
+    let mut curves = Vec::new();
+    for b in Benchmark::BEAM {
+        let c = beam_records(b, &cfg);
+        let summaries = c.sdc_summaries();
+        let curve = ToleranceCurve::from_summaries(b.label(), summaries.iter().copied(), &tolerances);
+        print!("{:9}", b.label());
+        for r in curve.fit_reduction_percent() {
+            print!(" {:7.1}", r);
+        }
+        println!();
+        curves.push(curve);
+    }
+    rule(9 + 8 * tolerances.len() + 20);
+
+    // Headline checks.
+    println!();
+    for curve in &curves {
+        let red = curve.fit_reduction_percent();
+        if curve.benchmark == "hotspot" {
+            let at_half_pct = red[tolerances.iter().position(|&t| t == 0.005).expect("grid")];
+            let idx2 = tolerances.iter().position(|&t| t == 0.02).expect("grid");
+            println!("hotspot: −{:.0}% at 0.5% tolerance (paper: −85%); MTBF ×{:.1} at 2% (paper: ×20)", at_half_pct, curve.mtbf_gain(idx2));
+        }
+        if curve.benchmark == "clamr" || curve.benchmark == "dgemm" {
+            println!("{}: −{:.0}% at 15% tolerance (paper: among the smallest decreases)", curve.benchmark, red[red.len() - 1]);
+        }
+    }
+    println!("\nPaper shape targets: every benchmark drops ≥25% already at small tolerances;");
+    println!("HotSpot collapses fastest (stencil attenuation); CLAMR & DGEMM flattest; curves saturate.");
+}

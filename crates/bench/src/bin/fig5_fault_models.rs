@@ -1,0 +1,47 @@
+//! Figures 5a/5b — "The PVF of the benchmarks for the different fault
+//! models."
+//!
+//! Per benchmark and per fault model (Single, Double, Random, Zero), the SDC
+//! and DUE Program Vulnerability Factors of the injection campaign.
+
+use bench::{injection_records, rule, RunConfig};
+use carolfi::models::FaultModel;
+use kernels::Benchmark;
+use sdc_analysis::pvf::{by_model, PvfKind};
+
+fn print_table(kind: PvfKind, cfg: &RunConfig) {
+    let title = match kind {
+        PvfKind::Sdc => "Figure 5a — SDC PVF per fault model [%]",
+        PvfKind::Due => "Figure 5b — DUE PVF per fault model [%]",
+    };
+    println!("{title}");
+    print!("{:9}", "bench");
+    for m in FaultModel::ALL {
+        print!(" {:>8}", m.label());
+    }
+    println!();
+    rule(9 + 9 * 4);
+    for b in Benchmark::ALL {
+        let records = injection_records(b, cfg);
+        let table = by_model(&records, kind);
+        print!("{:9}", b.label());
+        for m in FaultModel::ALL {
+            let pct = table.get(m).map(|p| p.percent()).unwrap_or(0.0);
+            print!(" {:8.1}", pct);
+        }
+        println!();
+    }
+    rule(9 + 9 * 4);
+    println!();
+}
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!("Figures 5a/5b reproduction — fault-model PVFs");
+    println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
+    print_table(PvfKind::Sdc, &cfg);
+    print_table(PvfKind::Due, &cfg);
+    println!("Paper shape targets: Zero model yields the lowest DUE everywhere (zeroed values are");
+    println!("valid pointers/indices); DGEMM & LUD (algebraic class) show similar model profiles;");
+    println!("NW: Zero ⇒ (almost) no SDCs, Single the highest SDC, Double/Random the highest DUE.");
+}

@@ -1,0 +1,91 @@
+//! Log parser — the equivalent of the paper artifact's `parser-scripts`
+//! (appendix A.5: "The parser scripts are located in the parser-scripts
+//! folder … how to execute and how to interpret the results produced").
+//!
+//! Reads one or more JSON-lines campaign logs (as written by the campaign
+//! runners and cached under `target/campaign_cache/`) and prints the
+//! aggregate analyses: outcome breakdown, fault-model and window PVFs,
+//! per-class rates and, for SDC records, the spatial-pattern histogram and
+//! the tolerance curve.
+//!
+//! ```text
+//! cargo run --release -p bench --bin parse_logs -- target/campaign_cache/*.jsonl
+//! ```
+
+use carolfi::record::{read_log, OutcomeRecord, TrialRecord};
+use sdc_analysis::pvf::{by_class, by_model, by_window, OutcomeBreakdown, PvfKind};
+use sdc_analysis::spatial;
+use sdc_analysis::tolerance::{paper_tolerances, ToleranceCurve};
+use std::collections::BTreeMap;
+
+fn analyse(benchmark: &str, records: &[TrialRecord]) {
+    println!("== {benchmark}: {} records", records.len());
+    let bd = OutcomeBreakdown::of(records);
+    println!("   masked {:5.1}%  sdc {:5.1}%  due {:5.1}%", bd.masked_pct(), bd.sdc_pct(), bd.due_pct());
+
+    let sdc_m = by_model(records, PvfKind::Sdc);
+    if !sdc_m.groups.is_empty() {
+        let due_m = by_model(records, PvfKind::Due);
+        let cells: Vec<String> = sdc_m
+            .groups
+            .iter()
+            .map(|(m, p)| format!("{}={:.1}/{:.1}", m.label(), p.percent(), due_m.get(*m).map(|d| d.percent()).unwrap_or(0.0)))
+            .collect();
+        println!("   model sdc/due: {}", cells.join("  "));
+    }
+
+    let sdc_w = by_window(records, PvfKind::Sdc);
+    let cells: Vec<String> = sdc_w.groups.iter().map(|(w, p)| format!("w{w}={:.1}", p.percent())).collect();
+    println!("   window sdc: {}", cells.join(" "));
+
+    let sdc_c = by_class(records, PvfKind::Sdc);
+    let due_c = by_class(records, PvfKind::Due);
+    let cells: Vec<String> = sdc_c
+        .groups
+        .iter()
+        .map(|(c, p)| format!("{}={:.1}/{:.1}", c.label(), p.percent(), due_c.get(*c).map(|d| d.percent()).unwrap_or(0.0)))
+        .collect();
+    println!("   class sdc/due: {}", cells.join("  "));
+
+    let summaries: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            OutcomeRecord::Sdc(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    if !summaries.is_empty() {
+        let hist = spatial::histogram(summaries.iter().copied());
+        let cells: Vec<String> = hist.iter().map(|(p, n)| format!("{p}={n}")).collect();
+        println!("   spatial: {}", cells.join(" "));
+        let curve = ToleranceCurve::from_summaries(benchmark, summaries.iter().copied(), &paper_tolerances());
+        let red: Vec<String> =
+            curve.tolerances.iter().zip(curve.fit_reduction_percent()).map(|(t, r)| format!("{:.1}%→−{:.0}%", t * 100.0, r)).collect();
+        println!("   tolerance: {}", red.join(" "));
+    }
+    println!();
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: parse_logs <log.jsonl> [more.jsonl ...]");
+        eprintln!("logs are produced by the campaign runners and cached under target/campaign_cache/");
+        std::process::exit(2);
+    }
+    let mut per_benchmark: BTreeMap<String, Vec<TrialRecord>> = BTreeMap::new();
+    for path in &paths {
+        match std::fs::File::open(path).map(std::io::BufReader::new).map(read_log) {
+            Ok(Ok(records)) => {
+                for r in records {
+                    per_benchmark.entry(r.benchmark.clone()).or_default().push(r);
+                }
+            }
+            Ok(Err(e)) => eprintln!("{path}: parse error: {e}"),
+            Err(e) => eprintln!("{path}: {e}"),
+        }
+    }
+    for (benchmark, records) in &per_benchmark {
+        analyse(benchmark, records);
+    }
+}

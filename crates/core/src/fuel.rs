@@ -1,0 +1,130 @@
+//! Bounded-work accounting: turns injected infinite loops into timeout DUEs.
+//!
+//! CAROL-FI's Supervisor "works as a watchdog to kill the program if a
+//! user-defined time limit is surpassed" (paper §5.1). A corrupted loop bound
+//! (e.g. a `usize` counter hit by a *Random* fault) would make a kernel step
+//! spin for 2⁶⁰ iterations; rather than wall-clock killing an OS process, the
+//! kernels thread a [`Fuel`] budget through their inner loops. Exhausting the
+//! budget raises a typed panic that the supervisor classifies as
+//! `DUE { cause: Timeout }` — exactly the outcome the paper's watchdog
+//! records.
+
+/// Panic payload signalling watchdog expiry; recognised by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutSignal;
+
+/// A work budget measured in abstract "work units" (loop iterations).
+///
+/// Fault-free runs are required to stay well under the budget; kernels size
+/// it as a multiple (the watchdog factor) of their nominal work.
+#[derive(Debug, Clone)]
+pub struct Fuel {
+    remaining: u64,
+}
+
+impl Fuel {
+    /// Creates a budget of `units` work units.
+    pub fn new(units: u64) -> Self {
+        Fuel { remaining: units }
+    }
+
+    /// Creates a budget of `factor`× the nominal work estimate.
+    pub fn with_factor(nominal_units: u64, factor: f64) -> Self {
+        let units = (nominal_units as f64 * factor).min(u64::MAX as f64) as u64;
+        Fuel::new(units.max(1))
+    }
+
+    /// Consumes `units`; panics with [`TimeoutSignal`] when the budget is
+    /// exhausted (the watchdog killing the run).
+    #[inline]
+    pub fn burn(&mut self, units: u64) {
+        match self.remaining.checked_sub(units) {
+            Some(rest) => self.remaining = rest,
+            None => {
+                self.remaining = 0;
+                std::panic::panic_any(TimeoutSignal);
+            }
+        }
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Clamps a loop bound so a corrupted bound cannot consume more than the
+    /// remaining budget in a single loop header; the loop body's `burn` calls
+    /// still do the fine-grained accounting.
+    #[inline]
+    pub fn clamp_bound(&self, bound: usize) -> usize {
+        bound.min(self.remaining.min(usize::MAX as u64) as usize)
+    }
+}
+
+/// True if a caught panic payload is the watchdog signal.
+pub fn is_timeout(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<TimeoutSignal>()
+}
+
+/// Largest allocation (in elements) a kernel may request from an
+/// injectable size. Corrupted sizes beyond this panic (a catchable crash
+/// DUE) instead of reaching the allocator — a real `malloc` of terabytes
+/// would fail with an *uncatchable* Rust alloc abort, losing the trial.
+pub const ALLOC_GUARD_ELEMS: usize = 1 << 26;
+
+/// Guards an allocation size derived from injectable state.
+#[inline]
+pub fn guard_alloc(elems: usize) {
+    if elems > ALLOC_GUARD_ELEMS {
+        panic!("allocation of {elems} elements exceeds the guard (corrupted size)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn burning_under_budget_is_fine() {
+        let mut fuel = Fuel::new(100);
+        for _ in 0..10 {
+            fuel.burn(10);
+        }
+        assert_eq!(fuel.remaining(), 0);
+    }
+
+    #[test]
+    fn exhaustion_raises_timeout_signal() {
+        let mut fuel = Fuel::new(5);
+        let res = catch_unwind(AssertUnwindSafe(|| fuel.burn(6)));
+        let payload = res.unwrap_err();
+        assert!(is_timeout(payload.as_ref()));
+    }
+
+    #[test]
+    fn ordinary_panics_are_not_timeouts() {
+        let res = catch_unwind(|| panic!("index out of bounds"));
+        let payload = res.unwrap_err();
+        assert!(!is_timeout(payload.as_ref()));
+    }
+
+    #[test]
+    fn with_factor_scales_nominal_work() {
+        let fuel = Fuel::with_factor(1000, 4.0);
+        assert_eq!(fuel.remaining(), 4000);
+    }
+
+    #[test]
+    fn clamp_bound_limits_runaway_loops() {
+        let fuel = Fuel::new(50);
+        assert_eq!(fuel.clamp_bound(usize::MAX), 50);
+        assert_eq!(fuel.clamp_bound(7), 7);
+    }
+
+    #[test]
+    fn zero_factor_still_gives_minimum_budget() {
+        let fuel = Fuel::with_factor(0, 4.0);
+        assert!(fuel.remaining() >= 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! The four CAROL-FI fault models and the generic fault-applicator interface.
+//!
+//! Paper §5.2: injections at source level must account for all the ways a
+//! transistor-level transient propagates up to a memory location, so besides
+//! the classic *Single* bitflip the paper uses *Double* (two bits within the
+//! same byte — SECDED-undetectable multi-bit upsets cluster physically),
+//! *Random* (every bit replaced by a random bit) and *Zero* (all bits
+//! cleared). Models operate on one machine word (one array element or one
+//! scalar), matching GDB writing a single object member.
+
+use crate::select::VariableSelector;
+use crate::target::Variable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The fault model applied to the selected word (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Flip a single random bit.
+    Single,
+    /// Flip two distinct random bits within the same byte.
+    Double,
+    /// Overwrite every bit with a random bit.
+    Random,
+    /// Set every bit to zero.
+    Zero,
+}
+
+impl FaultModel {
+    /// All four models, in the paper's presentation order.
+    pub const ALL: [FaultModel; 4] = [FaultModel::Single, FaultModel::Double, FaultModel::Random, FaultModel::Zero];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultModel::Single => "single",
+            FaultModel::Double => "double",
+            FaultModel::Random => "random",
+            FaultModel::Zero => "zero",
+        }
+    }
+
+    /// Applies the model to one word, returning the flipped bit offsets
+    /// (bit `i` = bit `i % 8` of byte `i / 8`, little-endian within the word).
+    ///
+    /// *Random* and *Zero* report every bit that actually changed. The word
+    /// is guaranteed to differ from its original value afterwards except for
+    /// *Zero* on an already-zero word and *Random* drawing the identical
+    /// pattern — faithful to the originals, which also allow "unlucky"
+    /// injections that change nothing.
+    pub fn apply<R: Rng>(self, word: &mut [u8], rng: &mut R) -> Vec<u32> {
+        assert!(!word.is_empty(), "fault model applied to empty word");
+        let nbits = (word.len() * 8) as u32;
+        match self {
+            FaultModel::Single => {
+                let bit = rng.gen_range(0..nbits);
+                word[(bit / 8) as usize] ^= 1 << (bit % 8);
+                vec![bit]
+            }
+            FaultModel::Double => {
+                // Two distinct bits inside one randomly chosen byte: the
+                // paper restricts the distance between the flipped bits to
+                // model physically clustered multi-cell upsets.
+                let byte = rng.gen_range(0..word.len()) as u32;
+                let b1 = rng.gen_range(0..8u32);
+                let mut b2 = rng.gen_range(0..7u32);
+                if b2 >= b1 {
+                    b2 += 1;
+                }
+                word[byte as usize] ^= (1 << b1) | (1 << b2);
+                let mut bits = vec![byte * 8 + b1, byte * 8 + b2];
+                bits.sort_unstable();
+                bits
+            }
+            FaultModel::Random => {
+                let mut flipped = Vec::new();
+                for (i, b) in word.iter_mut().enumerate() {
+                    let new: u8 = rng.gen();
+                    let diff = *b ^ new;
+                    *b = new;
+                    for bit in 0..8 {
+                        if diff & (1 << bit) != 0 {
+                            flipped.push((i * 8 + bit) as u32);
+                        }
+                    }
+                }
+                flipped
+            }
+            FaultModel::Zero => {
+                let mut flipped = Vec::new();
+                for (i, b) in word.iter_mut().enumerate() {
+                    let diff = *b;
+                    *b = 0;
+                    for bit in 0..8 {
+                        if diff & (1 << bit) != 0 {
+                            flipped.push((i * 8 + bit) as u32);
+                        }
+                    }
+                }
+                flipped
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What an applicator did, for the trial log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectionDetail {
+    /// Selected variable name.
+    pub var_name: String,
+    /// Selected variable class label.
+    pub var_class: crate::target::VarClass,
+    /// Frame label.
+    pub frame: String,
+    /// Owning logical thread, if any.
+    pub thread: Option<u16>,
+    /// Declaration site, `file:line`.
+    pub decl: String,
+    /// Element index within the variable the fault landed on.
+    pub elem_index: usize,
+    /// Flipped bit offsets within the element.
+    pub bits: Vec<u32>,
+    /// Human-readable description of the fault mechanism
+    /// (fault-model label, or the beam simulator's architectural effect).
+    pub mechanism: String,
+}
+
+/// Anything that can corrupt a paused target's state.
+///
+/// `carolfi` provides [`CarolFiApplicator`] (source-level fault models); the
+/// beam simulator provides applicators that model device-level strike
+/// propagation. Returning `None` means the fault vanished before reaching
+/// architectural state (e.g. an ECC-corrected strike) — the supervisor then
+/// records a masked-at-hardware outcome.
+pub trait FaultApplicator {
+    fn apply(&mut self, vars: &mut [Variable<'_>], rng: &mut rand::rngs::StdRng) -> Option<InjectionDetail>;
+}
+
+/// The CAROL-FI Flip-script: select thread → frame → variable → element, then
+/// apply the configured fault model.
+#[derive(Debug, Clone)]
+pub struct CarolFiApplicator {
+    pub model: FaultModel,
+    pub selector: VariableSelector,
+}
+
+impl CarolFiApplicator {
+    pub fn new(model: FaultModel) -> Self {
+        CarolFiApplicator { model, selector: VariableSelector::default() }
+    }
+}
+
+impl FaultApplicator for CarolFiApplicator {
+    fn apply(&mut self, vars: &mut [Variable<'_>], rng: &mut rand::rngs::StdRng) -> Option<InjectionDetail> {
+        let pick = self.selector.select(vars, rng)?;
+        let var = &mut vars[pick.var_index];
+        let info = var.info;
+        let elem_size = var.elem_size;
+        let start = pick.elem_index * elem_size;
+        let word = &mut var.bytes[start..start + elem_size];
+        let bits = self.model.apply(word, rng);
+        Some(InjectionDetail {
+            var_name: info.name.to_string(),
+            var_class: info.class,
+            frame: info.frame.label().to_string(),
+            thread: info.thread,
+            decl: format!("{}:{}", info.file, info.line),
+            elem_index: pick.elem_index,
+            bits,
+            mechanism: self.model.label().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fork;
+
+    #[test]
+    fn single_flips_exactly_one_bit() {
+        let mut rng = fork(1, 0);
+        for _ in 0..200 {
+            let mut word = [0xa5u8; 8];
+            let bits = FaultModel::Single.apply(&mut word, &mut rng);
+            assert_eq!(bits.len(), 1);
+            let diff: u32 = word.iter().zip([0xa5u8; 8]).map(|(a, b)| (a ^ b).count_ones()).sum();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn double_flips_two_bits_in_same_byte() {
+        let mut rng = fork(2, 0);
+        for _ in 0..200 {
+            let orig = [0x3cu8; 8];
+            let mut word = orig;
+            let bits = FaultModel::Double.apply(&mut word, &mut rng);
+            assert_eq!(bits.len(), 2);
+            assert_ne!(bits[0], bits[1]);
+            assert_eq!(bits[0] / 8, bits[1] / 8, "double model must stay within one byte");
+            let changed: Vec<usize> = word.iter().zip(orig).enumerate().filter(|(_, (a, b))| **a != *b).map(|(i, _)| i).collect();
+            assert_eq!(changed.len(), 1);
+        }
+    }
+
+    #[test]
+    fn zero_clears_the_word() {
+        let mut rng = fork(3, 0);
+        let mut word = [0xffu8; 4];
+        let bits = FaultModel::Zero.apply(&mut word, &mut rng);
+        assert_eq!(word, [0u8; 4]);
+        assert_eq!(bits.len(), 32);
+    }
+
+    #[test]
+    fn zero_on_zero_word_changes_nothing() {
+        let mut rng = fork(4, 0);
+        let mut word = [0u8; 4];
+        let bits = FaultModel::Zero.apply(&mut word, &mut rng);
+        assert!(bits.is_empty());
+        assert_eq!(word, [0u8; 4]);
+    }
+
+    #[test]
+    fn random_reports_exactly_the_changed_bits() {
+        let mut rng = fork(5, 0);
+        let orig = [0x12u8, 0x34, 0x56, 0x78];
+        let mut word = orig;
+        let bits = FaultModel::Random.apply(&mut word, &mut rng);
+        let expected: u32 = word.iter().zip(orig).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(bits.len() as u32, expected);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(FaultModel::Single.to_string(), "single");
+        assert_eq!(FaultModel::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Panic-output suppression for fault-injection campaigns.
+//!
+//! A campaign deliberately provokes tens of thousands of panics (every crash
+//! DUE is one); letting each print a backtrace would swamp stderr and
+//! serialise on the lock around it. [`silence_panics`] installs a no-op hook
+//! for the duration of a campaign, reference-counted so nested campaigns and
+//! parallel tests compose.
+
+use parking_lot::Mutex;
+
+static DEPTH: Mutex<u32> = Mutex::new(0);
+
+/// RAII guard that keeps the process-wide panic hook silenced while alive.
+pub struct PanicSilencer {
+    _priv: (),
+}
+
+/// Silences panic messages until the returned guard is dropped.
+///
+/// Re-entrant: the hook is restored to the default only when the last guard
+/// drops. (The previous hook is not preserved because `take_hook` from
+/// multiple threads would race; campaigns run under the default hook.)
+pub fn silence_panics() -> PanicSilencer {
+    let mut depth = DEPTH.lock();
+    if *depth == 0 {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    *depth += 1;
+    PanicSilencer { _priv: () }
+}
+
+impl Drop for PanicSilencer {
+    fn drop(&mut self) {
+        let mut depth = DEPTH.lock();
+        *depth -= 1;
+        if *depth == 0 {
+            // `take_hook` itself panics when called from a panicking thread
+            // (turning a plain test failure into a process abort), so when
+            // the guard is dropped during unwinding we leave the silent hook
+            // installed; the next `silence_panics` call owns it again.
+            if !std::thread::panicking() {
+                let _ = std::panic::take_hook();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    #[test]
+    fn panics_are_still_catchable_while_silenced() {
+        let _guard = silence_panics();
+        let res = catch_unwind(|| panic!("boom"));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nesting_is_reference_counted() {
+        let a = silence_panics();
+        {
+            let _b = silence_panics();
+            assert_eq!(*DEPTH.lock(), 2);
+        }
+        assert_eq!(*DEPTH.lock(), 1);
+        drop(a);
+        assert_eq!(*DEPTH.lock(), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Variable selection: the Flip-script's thread → frame → variable walk.
+//!
+//! Paper §5.1: "Flip-script first selects one of the available threads and
+//! frames […] Flip-script looks up the current frame upward the external one
+//! containing the global variables. Then, one of the variables of the
+//! selected frame will have its bits flipped."
+//!
+//! The walk therefore has three levels:
+//!
+//! 1. **Thread** — uniform over the threads present (228 on the Phi). Each
+//!    logical thread contributes its private kernel frame, and *every*
+//!    thread's walk also reaches the external frame holding the globals.
+//! 2. **Frame** — one of the selected thread's frames. With the two-level
+//!    stacks of these kernels that is a coin flip between the thread's
+//!    subroutine frame and the global frame.
+//! 3. **Variable** — within the frame, proportional to the variable's memory
+//!    size. This is the weighting the paper's analysis itself relies on:
+//!    LavaMD's charge/distance arrays attract faults because they are "up to
+//!    five orders of magnitude larger than the other data structures", and
+//!    DGEMM's 228 × 9 thread-private integers matter because they
+//!    "increase the memory portion used to store them" (§6).
+//!
+//! The element within the chosen variable is uniform. The alternative
+//! policies (uniform-over-variables, flat) are kept for ablations.
+
+use crate::target::{FrameId, Variable};
+use rand::Rng;
+
+/// Result of a selection: which variable, and which element within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    pub var_index: usize,
+    pub elem_index: usize,
+}
+
+/// How the variable within the selected frame is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WithinFrame {
+    /// ∝ variable size in bytes (default; see module docs).
+    ByteWeighted,
+    /// Uniform over the frame's variables (ablation).
+    UniformVariable,
+}
+
+/// Configurable selection policy.
+#[derive(Debug, Clone)]
+pub struct VariableSelector {
+    /// When true (default), run the CAROL-FI thread → frame walk; when
+    /// false, ignore frames entirely (flat ablation).
+    pub frame_first: bool,
+    /// Probability that the frame walk stops at the external (global) frame
+    /// rather than one of the thread's own frames. The interrupted stack of
+    /// an OpenMP worker passes the kernel body, the outlined parallel
+    /// region, runtime frames and `main` before reaching the external frame,
+    /// so the global frame is one stop among several (~0.3).
+    pub global_frame_prob: f64,
+    /// Within-frame variable weighting.
+    pub within_frame: WithinFrame,
+}
+
+impl Default for VariableSelector {
+    fn default() -> Self {
+        VariableSelector { frame_first: true, global_frame_prob: 0.3, within_frame: WithinFrame::UniformVariable }
+    }
+}
+
+impl VariableSelector {
+    /// Uniform-over-variables ablation policy (no frame structure at all).
+    pub fn flat() -> Self {
+        VariableSelector { frame_first: false, global_frame_prob: 0.5, within_frame: WithinFrame::UniformVariable }
+    }
+
+    /// CAROL-FI walk but byte-weighted within the frame (ablation).
+    pub fn byte_weighted() -> Self {
+        VariableSelector { within_frame: WithinFrame::ByteWeighted, ..Default::default() }
+    }
+
+    fn pick_within<R: Rng>(&self, vars: &[Variable<'_>], pool: &[usize], rng: &mut R) -> usize {
+        match self.within_frame {
+            WithinFrame::UniformVariable => pool[rng.gen_range(0..pool.len())],
+            WithinFrame::ByteWeighted => {
+                let total: usize = pool.iter().map(|&i| vars[i].bytes.len()).sum();
+                let mut x = rng.gen_range(0..total.max(1));
+                for &i in pool {
+                    if x < vars[i].bytes.len() {
+                        return i;
+                    }
+                    x -= vars[i].bytes.len();
+                }
+                *pool.last().expect("pool is non-empty")
+            }
+        }
+    }
+
+    /// Picks a variable and an element within it. Returns `None` when the
+    /// target exposes no state (cannot happen for the bundled kernels, but
+    /// the injector must not crash on an empty frame walk).
+    pub fn select<R: Rng>(&self, vars: &[Variable<'_>], rng: &mut R) -> Option<Selection> {
+        let candidates: Vec<usize> = (0..vars.len()).filter(|&i| !vars[i].bytes.is_empty()).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let var_index = if self.frame_first {
+            let globals: Vec<usize> = candidates.iter().copied().filter(|&i| vars[i].info.frame == FrameId::Global).collect();
+            let mut threads: Vec<u16> = candidates.iter().filter_map(|&i| vars[i].info.thread).collect();
+            threads.sort_unstable();
+            threads.dedup();
+
+            // Thread level: pick one of the live threads (if any).
+            let thread_frame: Option<Vec<usize>> = if threads.is_empty() {
+                None
+            } else {
+                let t = threads[rng.gen_range(0..threads.len())];
+                Some(candidates.iter().copied().filter(|&i| vars[i].info.thread == Some(t)).collect())
+            };
+
+            // Frame level: the walk ends at the thread's own frame or at the
+            // external frame with the globals.
+            let pool: Vec<usize> = match thread_frame {
+                Some(tf) if !globals.is_empty() => {
+                    if rng.gen_bool(self.global_frame_prob) {
+                        globals
+                    } else {
+                        tf
+                    }
+                }
+                Some(tf) => tf,
+                None => globals,
+            };
+            if pool.is_empty() {
+                return None;
+            }
+            self.pick_within(vars, &pool, rng)
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        };
+        let elem_count = vars[var_index].elem_count().max(1);
+        let elem_index = rng.gen_range(0..elem_count);
+        Some(Selection { var_index, elem_index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fork;
+    use crate::target::{VarClass, VarInfo, Variable};
+
+    fn make_state() -> (Vec<f64>, Vec<f64>, Vec<u64>, Vec<u64>) {
+        // Globals: a big matrix and a tiny constant; two thread frames.
+        (vec![0.0; 4096], vec![0.0; 1], vec![0; 4], vec![0; 4])
+    }
+
+    fn vars_of<'a>(matrix: &'a mut [f64], konst: &'a mut [f64], t0: &'a mut [u64], t1: &'a mut [u64]) -> Vec<Variable<'a>> {
+        vec![
+            Variable::from_slice(VarInfo::global("matrix", VarClass::Matrix, file!(), line!()), matrix),
+            Variable::from_slice(VarInfo::global("konst", VarClass::Constant, file!(), line!()), konst),
+            Variable::from_slice(VarInfo::local("ctrl", VarClass::ControlVariable, "kernel", 0, file!(), line!()), t0),
+            Variable::from_slice(VarInfo::local("ctrl", VarClass::ControlVariable, "kernel", 1, file!(), line!()), t1),
+        ]
+    }
+
+    #[test]
+    fn empty_target_yields_none() {
+        let sel = VariableSelector::default();
+        let mut rng = fork(0, 0);
+        assert!(sel.select(&[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn global_frame_gets_its_configured_share() {
+        let sel = VariableSelector { global_frame_prob: 0.5, ..Default::default() };
+        let mut rng = fork(7, 0);
+        let mut global_hits = 0usize;
+        let n = 4000;
+        for _ in 0..n {
+            let (mut m, mut k, mut t0, mut t1) = make_state();
+            let vars = vars_of(&mut m, &mut k, &mut t0, &mut t1);
+            let pick = sel.select(&vars, &mut rng).unwrap();
+            if pick.var_index <= 1 {
+                global_hits += 1;
+            }
+        }
+        let frac = global_hits as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.04, "global-frame fraction {frac}");
+    }
+
+    #[test]
+    fn byte_weighting_favours_the_matrix_within_the_global_frame() {
+        let sel = VariableSelector::byte_weighted();
+        let mut rng = fork(8, 0);
+        let (mut matrix_hits, mut konst_hits) = (0usize, 0usize);
+        for _ in 0..4000 {
+            let (mut m, mut k, mut t0, mut t1) = make_state();
+            let vars = vars_of(&mut m, &mut k, &mut t0, &mut t1);
+            match sel.select(&vars, &mut rng).unwrap().var_index {
+                0 => matrix_hits += 1,
+                1 => konst_hits += 1,
+                _ => {}
+            }
+        }
+        // 4096 vs 1 element: the constant should be hit ~0.01% of global walks
+        // (global walks are ~30% of selections).
+        assert!(matrix_hits > 800);
+        assert!(konst_hits < matrix_hits / 100, "matrix {matrix_hits} vs konst {konst_hits}");
+    }
+
+    #[test]
+    fn uniform_within_frame_default_balances_variables() {
+        let sel = VariableSelector::default();
+        let mut rng = fork(9, 0);
+        let (mut matrix_hits, mut konst_hits) = (0usize, 0usize);
+        for _ in 0..4000 {
+            let (mut m, mut k, mut t0, mut t1) = make_state();
+            let vars = vars_of(&mut m, &mut k, &mut t0, &mut t1);
+            match sel.select(&vars, &mut rng).unwrap().var_index {
+                0 => matrix_hits += 1,
+                1 => konst_hits += 1,
+                _ => {}
+            }
+        }
+        let ratio = matrix_hits as f64 / konst_hits.max(1) as f64;
+        assert!((0.6..1.6).contains(&ratio), "uniform ratio {ratio}");
+    }
+
+    #[test]
+    fn threads_are_picked_uniformly() {
+        let sel = VariableSelector { global_frame_prob: 0.0, ..Default::default() };
+        let mut rng = fork(10, 0);
+        let (mut t0_hits, mut t1_hits) = (0usize, 0usize);
+        for _ in 0..4000 {
+            let (mut m, mut k, mut t0, mut t1) = make_state();
+            let vars = vars_of(&mut m, &mut k, &mut t0, &mut t1);
+            match sel.select(&vars, &mut rng).unwrap().var_index {
+                2 => t0_hits += 1,
+                3 => t1_hits += 1,
+                other => panic!("global pick {other} with global_frame_prob = 0"),
+            }
+        }
+        let frac = t0_hits as f64 / (t0_hits + t1_hits) as f64;
+        assert!((frac - 0.5).abs() < 0.04);
+    }
+
+    #[test]
+    fn globals_only_target_still_selects() {
+        let sel = VariableSelector::default();
+        let mut rng = fork(11, 0);
+        let mut only = vec![1u64; 8];
+        let vars = vec![Variable::from_slice(VarInfo::global("g", VarClass::Matrix, file!(), line!()), &mut only)];
+        let pick = sel.select(&vars, &mut rng).unwrap();
+        assert_eq!(pick.var_index, 0);
+        assert!(pick.elem_index < 8);
+    }
+
+    #[test]
+    fn flat_policy_is_uniform_over_variables() {
+        let sel = VariableSelector::flat();
+        let mut rng = fork(12, 0);
+        let mut hits = [0usize; 4];
+        let n = 4000;
+        for _ in 0..n {
+            let (mut m, mut k, mut t0, mut t1) = make_state();
+            let vars = vars_of(&mut m, &mut k, &mut t0, &mut t1);
+            hits[sel.select(&vars, &mut rng).unwrap().var_index] += 1;
+        }
+        for h in hits {
+            let frac = h as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.04, "variable fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn element_index_is_in_range() {
+        let sel = VariableSelector::default();
+        let mut rng = fork(13, 0);
+        for _ in 0..500 {
+            let (mut m, mut k, mut t0, mut t1) = make_state();
+            let vars = vars_of(&mut m, &mut k, &mut t0, &mut t1);
+            let pick = sel.select(&vars, &mut rng).unwrap();
+            assert!(pick.elem_index < vars[pick.var_index].elem_count());
+        }
+    }
+
+    #[test]
+    fn zero_length_variables_are_skipped() {
+        let sel = VariableSelector::default();
+        let mut rng = fork(14, 0);
+        let mut empty: Vec<f64> = vec![];
+        let mut scalar = [1u64];
+        let vars = vec![
+            Variable::from_slice(VarInfo::global("empty", VarClass::Buffer, file!(), line!()), &mut empty),
+            Variable::from_slice(VarInfo::global("x", VarClass::Constant, file!(), line!()), &mut scalar),
+        ];
+        for _ in 0..50 {
+            let pick = sel.select(&vars, &mut rng).unwrap();
+            assert_eq!(pick.var_index, 1);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The Supervisor: runs one victim execution with one fault, classifies the
+//! outcome.
+//!
+//! Mirrors CAROL-FI's workflow (paper §5.1):
+//!
+//! 1. launch the program (construct the [`FaultTarget`]);
+//! 2. let it run at full speed until a pre-sampled interrupt time
+//!    (`inject_step`);
+//! 3. run the Flip-script (the [`FaultApplicator`]) against the enumerated
+//!    thread/frame/variable state;
+//! 4. resume at full speed, under a watchdog;
+//! 5. on completion compare the output with the golden copy and log
+//!    Masked / SDC / DUE.
+//!
+//! Crashes (panics) and watchdog expiries become DUEs; any output bit
+//! mismatch becomes an SDC with a [`DiffSummary`].
+
+use crate::fuel::is_timeout;
+use crate::models::{FaultApplicator, InjectionDetail};
+use crate::output::Output;
+use crate::record::{DiffSummary, DueKind};
+use crate::target::{FaultTarget, StepOutcome};
+use rand::rngs::StdRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Classified result of a single supervised run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialOutcome {
+    /// Output bit-identical to golden.
+    Masked,
+    /// The applicator reported the fault never reached architectural state.
+    HardwareMasked,
+    /// Output mismatch.
+    Sdc(DiffSummary),
+    /// Crash or watchdog expiry.
+    Due(DueCause),
+}
+
+/// Cause of a DUE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DueCause {
+    Panic(String),
+    Timeout,
+}
+
+impl From<DueCause> for DueKind {
+    fn from(c: DueCause) -> DueKind {
+        match c {
+            DueCause::Panic(message) => DueKind::Crash { message },
+            DueCause::Timeout => DueKind::Timeout,
+        }
+    }
+}
+
+/// Supervisor knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialConfig {
+    /// Step boundary at which the interrupt fires.
+    pub inject_step: usize,
+    /// Watchdog limit as a multiple of the nominal step count (CAROL-FI's
+    /// user-defined time limit). 4× mirrors the paper's mean overhead
+    /// headroom.
+    pub watchdog_factor: f64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig { inject_step: 0, watchdog_factor: 4.0 }
+    }
+}
+
+/// Everything `run_trial` learned about one execution.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    pub outcome: TrialOutcome,
+    /// What the applicator corrupted, if it reached architectural state.
+    pub injection: Option<InjectionDetail>,
+    /// Step boundary the fault was applied at.
+    pub inject_step: usize,
+    /// Steps the run executed before finishing or dying.
+    pub executed_steps: usize,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> DueCause {
+    if is_timeout(payload.as_ref()) {
+        return DueCause::Timeout;
+    }
+    let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    };
+    DueCause::Panic(msg)
+}
+
+/// Runs one faulted execution of `target` and classifies it against `golden`.
+///
+/// The target is constructed by the caller (so beam trials can pre-configure
+/// device state); `run_trial` consumes it.
+pub fn run_trial<T: FaultTarget>(
+    mut target: T,
+    golden: &Output,
+    applicator: &mut dyn FaultApplicator,
+    cfg: TrialConfig,
+    rng: &mut StdRng,
+) -> TrialResult {
+    let total = target.total_steps().max(1);
+    let max_steps = ((total as f64) * cfg.watchdog_factor).ceil() as usize;
+    let inject_step = cfg.inject_step.min(total.saturating_sub(1));
+
+    let mut injection: Option<InjectionDetail> = None;
+    let mut executed = 0usize;
+
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        // Phase 1: full speed until the interrupt.
+        while target.steps_executed() < inject_step {
+            executed += 1;
+            if let StepOutcome::Done = target.step() {
+                // Program finished before the interrupt fired — CAROL-FI
+                // logs these as faults injected at the very end; we apply
+                // the fault to the final state so the output comparison
+                // still sees it (matches injecting into a result buffer).
+                break;
+            }
+        }
+
+        // Phase 2: the Flip-script.
+        let mut vars = target.variables();
+        injection = applicator.apply(&mut vars, rng);
+        drop(vars);
+        if injection.is_none() {
+            return None; // masked in hardware — no need to resume
+        }
+
+        // Phase 3: resume under the watchdog.
+        if target.steps_executed() >= inject_step {
+            loop {
+                if executed >= max_steps {
+                    std::panic::panic_any(crate::fuel::TimeoutSignal);
+                }
+                executed += 1;
+                if let StepOutcome::Done = target.step() {
+                    break;
+                }
+            }
+        }
+        Some(target.output())
+    }));
+
+    let outcome = match run {
+        Err(payload) => TrialOutcome::Due(panic_message(payload)),
+        Ok(None) => TrialOutcome::HardwareMasked,
+        Ok(Some(output)) => {
+            let mismatches = output.mismatches(golden);
+            if mismatches.is_empty() {
+                TrialOutcome::Masked
+            } else {
+                TrialOutcome::Sdc(DiffSummary::from_mismatches(&mismatches, output.dims()))
+            }
+        }
+    };
+
+    TrialResult { outcome, injection, inject_step, executed_steps: executed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{CarolFiApplicator, FaultModel};
+    use crate::rng::fork;
+    use crate::target::{VarClass, VarInfo, Variable};
+
+    /// A toy victim: sums a vector in `n` steps, output is the running sums.
+    struct Summer {
+        data: Vec<f64>,
+        acc: Vec<f64>,
+        cursor: u64,
+        done: usize,
+        crash_on_negative: bool,
+    }
+
+    impl Summer {
+        fn new(n: usize) -> Self {
+            Summer { data: (0..n).map(|i| i as f64).collect(), acc: vec![0.0; n], cursor: 0, done: 0, crash_on_negative: false }
+        }
+    }
+
+    impl FaultTarget for Summer {
+        fn name(&self) -> &'static str {
+            "summer"
+        }
+        fn total_steps(&self) -> usize {
+            self.data.len()
+        }
+        fn steps_executed(&self) -> usize {
+            self.done
+        }
+        fn step(&mut self) -> StepOutcome {
+            let i = self.cursor as usize; // corrupted cursor => OOB panic (DUE)
+            let prev = if i == 0 { 0.0 } else { self.acc[i - 1] };
+            let v = self.data[i];
+            if self.crash_on_negative && v < 0.0 {
+                panic!("negative input");
+            }
+            self.acc[i] = prev + v;
+            self.cursor += 1;
+            self.done += 1;
+            if self.done >= self.data.len() {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            }
+        }
+        fn variables(&mut self) -> Vec<Variable<'_>> {
+            vec![
+                Variable::from_slice(VarInfo::global("data", VarClass::Matrix, file!(), line!()), &mut self.data),
+                Variable::from_scalar(
+                    VarInfo::local("cursor", VarClass::ControlVariable, "sum_loop", 0, file!(), line!()),
+                    &mut self.cursor,
+                ),
+            ]
+        }
+        fn output(&self) -> Output {
+            Output::F64Grid { dims: [self.acc.len(), 1, 1], data: self.acc.clone() }
+        }
+    }
+
+    fn golden(n: usize) -> Output {
+        let mut s = Summer::new(n);
+        while s.step() == StepOutcome::Continue {}
+        s.output()
+    }
+
+    struct NopApplicator;
+    impl FaultApplicator for NopApplicator {
+        fn apply(&mut self, _: &mut [Variable<'_>], _: &mut StdRng) -> Option<InjectionDetail> {
+            None
+        }
+    }
+
+    #[test]
+    fn hardware_masked_when_applicator_declines() {
+        let g = golden(16);
+        let mut rng = fork(0, 0);
+        let res = run_trial(Summer::new(16), &g, &mut NopApplicator, TrialConfig { inject_step: 4, ..Default::default() }, &mut rng);
+        assert_eq!(res.outcome, TrialOutcome::HardwareMasked);
+    }
+
+    #[test]
+    fn corrupting_unconsumed_data_yields_sdc() {
+        let g = golden(16);
+        let _quiet = crate::panic_guard::silence_panics();
+        // Run many seeds; data corruption after step 2 must yield SDCs (any
+        // later element change propagates to all following prefix sums) and
+        // cursor corruption may yield DUEs. No trial may corrupt the harness.
+        let mut sdc = 0;
+        let mut due = 0;
+        let mut masked = 0;
+        for seed in 0..200 {
+            let mut rng = fork(seed, 1);
+            let mut app = CarolFiApplicator::new(FaultModel::Random);
+            let res = run_trial(Summer::new(16), &g, &mut app, TrialConfig { inject_step: 2, ..Default::default() }, &mut rng);
+            match res.outcome {
+                TrialOutcome::Sdc(_) => sdc += 1,
+                TrialOutcome::Due(_) => due += 1,
+                TrialOutcome::Masked => masked += 1,
+                TrialOutcome::HardwareMasked => unreachable!(),
+            }
+        }
+        assert!(sdc > 0, "expected some SDCs, got sdc={sdc} due={due} masked={masked}");
+        assert!(due > 0, "expected some DUEs from cursor corruption");
+    }
+
+    #[test]
+    fn masked_when_fault_hits_already_consumed_data() {
+        // Inject a Zero fault into data[0] after it was consumed: prefix sums
+        // no longer read it, so the output is untouched => Masked.
+        struct PinpointZero;
+        impl FaultApplicator for PinpointZero {
+            fn apply(&mut self, vars: &mut [Variable<'_>], _: &mut StdRng) -> Option<InjectionDetail> {
+                let v = &mut vars[0]; // "data"
+                for b in &mut v.bytes[0..8] {
+                    *b = 0;
+                }
+                Some(InjectionDetail {
+                    var_name: v.info.name.into(),
+                    var_class: v.info.class,
+                    frame: v.info.frame.label().into(),
+                    thread: None,
+                    decl: String::new(),
+                    elem_index: 0,
+                    bits: vec![],
+                    mechanism: "zero".into(),
+                })
+            }
+        }
+        let g = golden(16);
+        let mut rng = fork(3, 0);
+        let res = run_trial(Summer::new(16), &g, &mut PinpointZero, TrialConfig { inject_step: 8, ..Default::default() }, &mut rng);
+        // data[0] = 0.0 already, so zeroing it is bit-identical => Masked.
+        assert_eq!(res.outcome, TrialOutcome::Masked);
+    }
+
+    #[test]
+    fn oob_cursor_becomes_crash_due() {
+        struct HugeCursor;
+        impl FaultApplicator for HugeCursor {
+            fn apply(&mut self, vars: &mut [Variable<'_>], _: &mut StdRng) -> Option<InjectionDetail> {
+                let v = &mut vars[1]; // "cursor"
+                v.bytes.copy_from_slice(&u64::MAX.to_le_bytes());
+                Some(InjectionDetail {
+                    var_name: v.info.name.into(),
+                    var_class: v.info.class,
+                    frame: v.info.frame.label().into(),
+                    thread: v.info.thread,
+                    decl: String::new(),
+                    elem_index: 0,
+                    bits: vec![],
+                    mechanism: "random".into(),
+                })
+            }
+        }
+        let _quiet = crate::panic_guard::silence_panics();
+        let g = golden(16);
+        let mut rng = fork(4, 0);
+        let res = run_trial(Summer::new(16), &g, &mut HugeCursor, TrialConfig { inject_step: 4, ..Default::default() }, &mut rng);
+        match res.outcome {
+            TrialOutcome::Due(DueCause::Panic(msg)) => assert!(msg.contains("index out of bounds"), "{msg}"),
+            other => panic!("expected crash DUE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stuck_cursor_becomes_timeout_due() {
+        // A cursor pointing back to 0 re-executes forever (done stops
+        // matching data.len() only via cursor; here `done` still advances —
+        // so emulate a stuck step by resetting cursor below inject point and
+        // relying on the watchdog max_steps).
+        struct StuckCursor;
+        impl FaultApplicator for StuckCursor {
+            fn apply(&mut self, vars: &mut [Variable<'_>], _: &mut StdRng) -> Option<InjectionDetail> {
+                let v = &mut vars[1];
+                v.bytes.copy_from_slice(&0u64.to_le_bytes());
+                Some(InjectionDetail {
+                    var_name: v.info.name.into(),
+                    var_class: v.info.class,
+                    frame: v.info.frame.label().into(),
+                    thread: v.info.thread,
+                    decl: String::new(),
+                    elem_index: 0,
+                    bits: vec![],
+                    mechanism: "zero".into(),
+                })
+            }
+        }
+        // Summer with `done` tied to cursor so resetting it loops forever.
+        struct LoopySummer(Summer);
+        impl FaultTarget for LoopySummer {
+            fn name(&self) -> &'static str {
+                "loopy"
+            }
+            fn total_steps(&self) -> usize {
+                self.0.total_steps()
+            }
+            fn steps_executed(&self) -> usize {
+                self.0.done
+            }
+            fn step(&mut self) -> StepOutcome {
+                let i = self.0.cursor as usize;
+                let prev = if i == 0 { 0.0 } else { self.0.acc[i - 1] };
+                self.0.acc[i] = prev + self.0.data[i];
+                self.0.cursor += 1;
+                self.0.done += 1;
+                if self.0.cursor as usize >= self.0.data.len() {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            }
+            fn variables(&mut self) -> Vec<Variable<'_>> {
+                self.0.variables()
+            }
+            fn output(&self) -> Output {
+                self.0.output()
+            }
+        }
+        let _quiet = crate::panic_guard::silence_panics();
+        let g = golden(16);
+        let mut rng = fork(5, 0);
+        let res = run_trial(
+            LoopySummer(Summer::new(16)),
+            &g,
+            &mut StuckCursor,
+            TrialConfig { inject_step: 8, watchdog_factor: 4.0 },
+            &mut rng,
+        );
+        // Resetting cursor to 0 just recomputes the prefix (eventually Done)
+        // — executed steps grow but finish under 4x. Output is recomputed
+        // identically => Masked is acceptable; what we assert is that the
+        // watchdog bound was respected and no hang occurred.
+        assert!(res.executed_steps <= 4 * 16 + 1);
+    }
+
+    #[test]
+    fn internal_crash_flag_becomes_due() {
+        let _quiet = crate::panic_guard::silence_panics();
+        let g = golden(16);
+        struct MakeNegative;
+        impl FaultApplicator for MakeNegative {
+            fn apply(&mut self, vars: &mut [Variable<'_>], _: &mut StdRng) -> Option<InjectionDetail> {
+                // Set data[15] = -1.0.
+                let v = &mut vars[0];
+                v.bytes[15 * 8..16 * 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+                Some(InjectionDetail {
+                    var_name: v.info.name.into(),
+                    var_class: v.info.class,
+                    frame: v.info.frame.label().into(),
+                    thread: None,
+                    decl: String::new(),
+                    elem_index: 15,
+                    bits: vec![],
+                    mechanism: "test".into(),
+                })
+            }
+        }
+        let mut s = Summer::new(16);
+        s.crash_on_negative = true;
+        let mut rng = fork(6, 0);
+        let res = run_trial(s, &g, &mut MakeNegative, TrialConfig { inject_step: 4, ..Default::default() }, &mut rng);
+        assert!(matches!(res.outcome, TrialOutcome::Due(DueCause::Panic(_))));
+    }
+}

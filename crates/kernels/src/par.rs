@@ -1,0 +1,136 @@
+//! Deterministic data-parallel helper for the benchmark inner loops.
+//!
+//! The paper's benchmarks run 228 OpenMP threads on the Xeon Phi. Here each
+//! benchmark models those as *logical threads* (data: control blocks plus a
+//! fixed partition of the output), executed over a configurable number of OS
+//! worker threads. The partition is fixed at construction time, so results
+//! are bit-identical for any worker count — a prerequisite for classifying
+//! any output mismatch as an SDC.
+//!
+//! Panics raised inside workers (out-of-bounds indexing caused by injected
+//! faults, watchdog fuel exhaustion) are forwarded to the caller with their
+//! original payload, so the supervisor can still distinguish crash DUEs from
+//! timeout DUEs.
+
+use std::panic::AssertUnwindSafe;
+
+/// Runs `f(index, &mut items[index])` for every item, splitting the items
+/// into contiguous chunks over `workers` OS threads.
+///
+/// With `workers <= 1` (the campaign default on this machine) everything
+/// runs inline on the caller's thread.
+pub fn par_for_each<T, F>(items: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                for (j, item) in chunk_items.iter_mut().enumerate() {
+                    // Catch per-item so one corrupted logical thread doesn't
+                    // skip its chunk-mates' work non-deterministically; the
+                    // first payload is re-raised after the scope joins.
+                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(ci * chunk + j, item)));
+                    if let Err(p) = r {
+                        return Err(p);
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(p)) | Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+    })
+    .expect("crossbeam scope failed");
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Splits `total` items into `parts` contiguous ranges as evenly as possible
+/// (the OpenMP static schedule). Returns `(start, end)` for `part`.
+pub fn static_partition(total: usize, parts: usize, part: usize) -> (usize, usize) {
+    assert!(part < parts);
+    let base = total / parts;
+    let rem = total % parts;
+    let start = part * base + part.min(rem);
+    let len = base + usize::from(part < rem);
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_parallel_agree() {
+        let mut a: Vec<u64> = (0..1000).collect();
+        let mut b = a.clone();
+        par_for_each(&mut a, 1, |i, x| *x = *x * 3 + i as u64);
+        par_for_each(&mut b, 4, |i, x| *x = *x * 3 + i as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let _quiet = carolfi::panic_guard::silence_panics();
+        let mut xs = vec![0u8; 16];
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_for_each(&mut xs, 4, |i, _| {
+                if i == 7 {
+                    std::panic::panic_any(carolfi::fuel::TimeoutSignal);
+                }
+            });
+        }));
+        let payload = res.unwrap_err();
+        assert!(carolfi::fuel::is_timeout(payload.as_ref()));
+    }
+
+    #[test]
+    fn static_partition_covers_everything_once() {
+        for total in [0usize, 1, 7, 228, 229, 1000] {
+            for parts in [1usize, 3, 8, 228] {
+                let mut covered = vec![false; total];
+                let mut prev_end = 0;
+                for p in 0..parts {
+                    let (s, e) = static_partition(total, parts, p);
+                    assert_eq!(s, prev_end);
+                    prev_end = e;
+                    for slot in covered.iter_mut().take(e).skip(s) {
+                        assert!(!*slot);
+                        *slot = true;
+                    }
+                }
+                assert_eq!(prev_end, total);
+                assert!(covered.into_iter().all(|c| c));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_sizes_differ_by_at_most_one() {
+        for p in 0..5 {
+            let (s, e) = static_partition(13, 5, p);
+            assert!(e - s == 2 || e - s == 3);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Output quantisation matching Rodinia's text result files.
+//!
+//! The paper's harness "gathers results, comparing them with a pre-computed
+//! golden output" (§4.1) — for the Rodinia benchmarks that ship file-based
+//! outputs the comparison granularity is the printed representation
+//! (`%g` ⇒ 6 significant decimal digits), so relative differences below
+//! ~1e-6 never register as SDCs. These helpers reproduce that granularity.
+
+/// Rounds to 6 significant decimal digits (the `%g` default).
+pub fn sig6_f32(v: f32) -> f32 {
+    sig_digits_f32(v, 6)
+}
+
+/// Rounds to `d` significant decimal digits.
+pub fn sig_digits_f32(v: f32, d: i32) -> f32 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let exp = (v.abs().log10().floor()) as i32;
+    let scale = 10f64.powi(d - 1 - exp);
+    ((v as f64 * scale).round() / scale) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_digits_keep_the_leading_figures() {
+        assert_eq!(sig6_f32(123.4567), 123.457);
+        assert_eq!(sig6_f32(0.001234567), 0.00123457);
+        assert_eq!(sig6_f32(-9876543.0), -9876540.0);
+    }
+
+    #[test]
+    fn sub_precision_differences_collapse() {
+        let a = 330.123_45_f32;
+        let b = a + a * 1e-7;
+        assert_eq!(sig6_f32(a), sig6_f32(b));
+    }
+
+    #[test]
+    fn visible_differences_survive() {
+        let a = 330.0_f32;
+        let b = a * 1.001;
+        assert_ne!(sig6_f32(a), sig6_f32(b));
+    }
+
+    #[test]
+    fn zero_and_non_finite_pass_through() {
+        assert_eq!(sig6_f32(0.0), 0.0);
+        assert!(sig6_f32(f32::NAN).is_nan());
+        assert_eq!(sig6_f32(f32::INFINITY), f32::INFINITY);
+    }
+
+    #[test]
+    fn quantisation_is_idempotent() {
+        for v in [1.2345678f32, 0.000543219, 87654.32, -3.3333333] {
+            let q = sig6_f32(v);
+            assert_eq!(sig6_f32(q), q);
+        }
+    }
+}

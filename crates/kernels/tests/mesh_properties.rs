@@ -1,0 +1,103 @@
+//! Property-based tests over CLAMR's mesh substrate: any mesh produced by
+//! random refinement must tile the domain exactly, build into a consistent
+//! spatial tree, and answer every point query with the covering cell.
+
+use kernels::clamr::sort::{gather, merge_sort_by_key, morton_key};
+use kernels::clamr::tree;
+use proptest::prelude::*;
+
+/// Cells as (ox, oy, extent, idx) produced by randomly refining a base grid.
+fn random_mesh(size: u32, levels: u32, decisions: &[bool]) -> Vec<(u32, u32, u32, u32)> {
+    let mut cells: Vec<(u32, u32, u32)> = Vec::new();
+    // Start with the coarsest tiling.
+    let coarse = 1u32 << levels;
+    assert!(coarse <= size);
+    for y in 0..size / coarse {
+        for x in 0..size / coarse {
+            cells.push((x * coarse, y * coarse, coarse));
+        }
+    }
+    // Refine cells according to the decision stream.
+    let mut d = 0usize;
+    let mut i = 0usize;
+    while i < cells.len() && d < decisions.len() {
+        let (ox, oy, s) = cells[i];
+        if s > 1 && decisions[d] {
+            let h = s / 2;
+            cells[i] = (ox, oy, h);
+            cells.push((ox + h, oy, h));
+            cells.push((ox, oy + h, h));
+            cells.push((ox + h, oy + h, h));
+        }
+        d += 1;
+        i += 1;
+    }
+    cells.into_iter().enumerate().map(|(idx, (ox, oy, s))| (ox, oy, s, idx as u32)).collect()
+}
+
+proptest! {
+    #[test]
+    fn random_meshes_tile_and_roundtrip(decisions in prop::collection::vec(any::<bool>(), 0..64)) {
+        let size = 16u32;
+        let cells = random_mesh(size, 2, &decisions);
+        // Tiling invariant: areas sum to the domain.
+        let area: u64 = cells.iter().map(|&(_, _, s, _)| (s as u64) * (s as u64)).sum();
+        prop_assert_eq!(area, (size as u64) * (size as u64));
+
+        let mut child = Vec::new();
+        let mut leaf = Vec::new();
+        tree::build(&mut child, &mut leaf, size, &cells);
+
+        // Every point maps to the unique covering cell.
+        for y in 0..size {
+            for x in 0..size {
+                let hit = tree::query(&child, &leaf, size, x, y).expect("covered");
+                let (ox, oy, s, idx) = cells[hit as usize];
+                prop_assert_eq!(idx, hit);
+                prop_assert!(x >= ox && x < ox + s && y >= oy && y < oy + s, "({x},{y}) not in cell ({ox},{oy},{s})");
+            }
+        }
+    }
+
+    #[test]
+    fn morton_sort_orders_any_mesh_consistently(decisions in prop::collection::vec(any::<bool>(), 0..64)) {
+        let cells = random_mesh(16, 2, &decisions);
+        let keys: Vec<u64> = cells.iter().map(|&(ox, oy, _, _)| morton_key(ox, oy)).collect();
+        let mut idx: Vec<u32> = (0..cells.len() as u32).collect();
+        let mut scratch = vec![0u32; cells.len()];
+        merge_sort_by_key(&mut idx, &keys, &mut scratch);
+        for w in idx.windows(2) {
+            prop_assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
+        }
+        // The permutation is a bijection: gathering 0..n through it keeps
+        // every element exactly once.
+        let ids: Vec<u32> = (0..cells.len() as u32).collect();
+        let mut gathered = Vec::new();
+        gather(&idx, &ids, &mut gathered);
+        let mut sorted = gathered.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, ids);
+    }
+
+    #[test]
+    fn fault_models_change_at_most_the_promised_bits(
+        seed in 0u64..5000,
+        word in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        use carolfi::models::FaultModel;
+        let mut rng = carolfi::rng::fork(seed, 0);
+        for model in FaultModel::ALL {
+            let mut w = word.clone();
+            let bits = model.apply(&mut w, &mut rng);
+            let changed: u32 = w.iter().zip(&word).map(|(a, b)| (a ^ b).count_ones()).sum();
+            match model {
+                FaultModel::Single => prop_assert_eq!(changed, 1),
+                FaultModel::Double => prop_assert_eq!(changed, 2),
+                FaultModel::Random | FaultModel::Zero => prop_assert_eq!(changed as usize, bits.len()),
+            }
+            if model == FaultModel::Zero {
+                prop_assert!(w.iter().all(|&b| b == 0));
+            }
+        }
+    }
+}

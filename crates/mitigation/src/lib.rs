@@ -1,0 +1,42 @@
+//! # mitigation — the hardening techniques the paper's analysis motivates
+//!
+//! Paper §6.1 and §7: the criticality analysis exists to let developers
+//! "apply the most appropriate level of protection to provide the desired
+//! level of resilience" and the authors "plan to implement the mitigation
+//! techniques based on the radiation and fault injection analysis". This
+//! crate implements those techniques:
+//!
+//! * [`abft`] — algorithm-based fault tolerance for matrix multiplication
+//!   (Huang & Abraham, paper ref [26]): row/column checksums that *detect
+//!   and correct single, line and random errors in O(1) time* relative to
+//!   the multiplication — the paper's §4.3 observation that "for the Xeon
+//!   Phi most of the observed SDCs in DGEMM could be corrected by ABFT";
+//! * [`residue`] — mod-3 / mod-15 residue checking for integer arithmetic
+//!   ("We need only 8 bits to use mod15 for the residue error protection,
+//!   or only 2 bits for mod3", §6.1), the technique recommended for the
+//!   algebraic benchmarks and for errors ECC cannot see;
+//! * [`redundancy`] — selective duplication-with-comparison and triple
+//!   modular redundancy for the control variables the injection campaign
+//!   flags as critical (§6, DGEMM/LUD recommendations);
+//! * [`parity`] — word parity, "for NW, a simple parity would detect most
+//!   SDCs since single faults are more critical than the other types";
+//! * [`checkpoint`] — Young/Daly checkpoint-interval optimisation, for the
+//!   §6 CLAMR observation that reducing the Sort/Tree DUE rate "can allow
+//!   lowering the frequency of checkpointing techniques";
+//! * [`dwc_target`] — the §7 future work realised: a transparent
+//!   [`carolfi::FaultTarget`] wrapper that DWC-protects the control
+//!   variables and is validated with the same injection campaigns.
+
+pub mod abft;
+pub mod checkpoint;
+pub mod dwc_target;
+pub mod parity;
+pub mod redundancy;
+pub mod residue;
+
+pub use abft::{AbftCheckedProduct, AbftOutcome};
+pub use checkpoint::CheckpointModel;
+pub use dwc_target::DwcControls;
+pub use parity::ParityWord;
+pub use redundancy::{Dwc, Tmr};
+pub use residue::{Residue, ResidueChecked};

@@ -1,0 +1,149 @@
+//! Selective duplication-with-comparison and TMR (paper §6).
+//!
+//! "Selective duplication with comparison can be applied to protect the
+//! internal memory structures that contain such control variables […] to
+//! improve the resilience at a lower overhead, a selective protection should
+//! be preferred" (DGEMM), and "apply redundant multithreading or duplication
+//! with comparison to control variables" (LUD). These wrappers protect
+//! exactly the variable classes the injection campaign grades as critical,
+//! at two or three copies of their (tiny) storage instead of duplicating the
+//! whole computation.
+
+/// Duplication with comparison: two copies, read checks agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dwc<T: Copy + Eq> {
+    a: T,
+    b: T,
+}
+
+/// Error raised when redundant copies disagree (detection, not correction —
+/// the program turns a would-be SDC into a DUE it can recover from by
+/// restart/checkpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyMismatch;
+
+impl<T: Copy + Eq> Dwc<T> {
+    pub fn new(value: T) -> Self {
+        Dwc { a: value, b: value }
+    }
+
+    /// Reads the value, checking the copies against each other.
+    pub fn read(&self) -> Result<T, RedundancyMismatch> {
+        if self.a == self.b {
+            Ok(self.a)
+        } else {
+            Err(RedundancyMismatch)
+        }
+    }
+
+    /// Writes both copies.
+    pub fn write(&mut self, value: T) {
+        self.a = value;
+        self.b = value;
+    }
+
+    /// Raw access for fault injection in tests/campaigns.
+    pub fn copies_mut(&mut self) -> (&mut T, &mut T) {
+        (&mut self.a, &mut self.b)
+    }
+}
+
+/// Triple modular redundancy: three copies, majority vote corrects one
+/// corrupted copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tmr<T: Copy + Eq> {
+    copies: [T; 3],
+}
+
+impl<T: Copy + Eq> Tmr<T> {
+    pub fn new(value: T) -> Self {
+        Tmr { copies: [value; 3] }
+    }
+
+    /// Majority-voted read; also scrubs the losing copy back into line.
+    /// Fails only when all three copies disagree pairwise.
+    pub fn read_and_scrub(&mut self) -> Result<T, RedundancyMismatch> {
+        let [a, b, c] = self.copies;
+        let winner = if a == b || a == c {
+            a
+        } else if b == c {
+            b
+        } else {
+            return Err(RedundancyMismatch);
+        };
+        self.copies = [winner; 3];
+        Ok(winner)
+    }
+
+    pub fn write(&mut self, value: T) {
+        self.copies = [value; 3];
+    }
+
+    pub fn copies_mut(&mut self) -> &mut [T; 3] {
+        &mut self.copies
+    }
+}
+
+/// Storage overhead of protecting `protected_bytes` of a `total_bytes`
+/// working set with `copies`-fold redundancy — the "selective" in selective
+/// hardening. Protecting DGEMM's 228×9 control integers costs a vanishing
+/// fraction of duplicating its matrices.
+pub fn selective_overhead(protected_bytes: usize, total_bytes: usize, copies: usize) -> f64 {
+    (protected_bytes * (copies - 1)) as f64 / total_bytes.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dwc_detects_any_single_copy_corruption() {
+        let mut x = Dwc::new(42u64);
+        assert_eq!(x.read(), Ok(42));
+        *x.copies_mut().0 ^= 1 << 40;
+        assert_eq!(x.read(), Err(RedundancyMismatch));
+    }
+
+    #[test]
+    fn dwc_write_resynchronises() {
+        let mut x = Dwc::new(1u32);
+        *x.copies_mut().1 = 99;
+        x.write(7);
+        assert_eq!(x.read(), Ok(7));
+    }
+
+    #[test]
+    fn tmr_corrects_one_corrupted_copy() {
+        let mut x = Tmr::new(1234u64);
+        x.copies_mut()[1] = 0xdead;
+        assert_eq!(x.read_and_scrub(), Ok(1234));
+        // Scrubbed: a second corruption of a different copy still corrects.
+        x.copies_mut()[0] = 0xbeef;
+        assert_eq!(x.read_and_scrub(), Ok(1234));
+    }
+
+    #[test]
+    fn tmr_fails_only_on_triple_disagreement() {
+        let mut x = Tmr::new(5u8);
+        *x.copies_mut() = [1, 2, 3];
+        assert_eq!(x.read_and_scrub(), Err(RedundancyMismatch));
+    }
+
+    #[test]
+    fn selective_hardening_is_cheap_for_dgemm_controls() {
+        // 228 threads × 9 × 8-byte integers vs three 2048² f64 matrices.
+        let protected = 228 * 9 * 8;
+        let total = 3 * 2048 * 2048 * 8;
+        let overhead = selective_overhead(protected, total, 2);
+        assert!(overhead < 0.001, "selective DWC overhead {overhead}");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_tmr_majority_always_wins_single_faults(value: u64, corrupt: u64, slot in 0usize..3) {
+            let mut x = Tmr::new(value);
+            x.copies_mut()[slot] = corrupt;
+            proptest::prop_assert_eq!(x.read_and_scrub(), Ok(value));
+        }
+    }
+}

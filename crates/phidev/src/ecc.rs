@@ -1,0 +1,202 @@
+//! Hamming SECDED(72,64): the ECC scheme guarding KNC's memory structures.
+//!
+//! The 3120A's Machine Check Architecture protects caches and memory with
+//! Single-Error-Correction / Double-Error-Detection codes (paper §3.1). The
+//! beam simulator uses this codec to decide a strike's fate on a protected
+//! structure: one flipped bit is silently corrected (a *corrected* machine
+//! check event), two flipped bits raise an uncorrectable machine check which
+//! crashes the application — a DUE (paper §5.2: "SECDED ECC normally
+//! triggers application crash when a double bit error is detected").
+//!
+//! Layout: an extended Hamming code. Codeword positions are 1-indexed
+//! 1..=71; positions that are powers of two hold the 7 check bits; the other
+//! 64 positions hold data bits in ascending order; one extra overall-parity
+//! bit (position 0) covers the whole 71-bit word, upgrading SEC to SECDED.
+
+/// A 72-bit codeword: 64 data bits + 7 Hamming check bits + overall parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Codeword {
+    /// Bits 0..=70 are codeword positions 1..=71; bit 71 is overall parity.
+    raw: u128,
+}
+
+/// Result of decoding a (possibly corrupted) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// Codeword clean; payload returned.
+    Clean(u64),
+    /// One bit was flipped and has been corrected; payload returned.
+    Corrected(u64),
+    /// Two-bit error detected; data unrecoverable (machine check).
+    DetectedUncorrectable,
+}
+
+/// The SECDED(72,64) encoder/decoder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SecdedCodec;
+
+const CODE_BITS: u32 = 71; // positions 1..=71
+const PARITY_POS: u32 = 71; // overall parity stored in raw bit 71
+
+fn is_pow2(x: u32) -> bool {
+    x.count_ones() == 1
+}
+
+/// Data-bit positions (1..=71 minus the 7 power-of-two positions), ascending.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1..=CODE_BITS).filter(|&p| !is_pow2(p))
+}
+
+impl SecdedCodec {
+    /// Encodes 64 data bits into a 72-bit codeword.
+    pub fn encode(self, data: u64) -> Codeword {
+        let mut raw: u128 = 0;
+        for (i, pos) in data_positions().enumerate() {
+            if (data >> i) & 1 == 1 {
+                raw |= 1u128 << (pos - 1);
+            }
+        }
+        // Check bit at position 2^k covers every position with bit k set.
+        for k in 0..7u32 {
+            let cpos = 1u32 << k;
+            let mut parity = 0u32;
+            for pos in 1..=CODE_BITS {
+                if pos != cpos && (pos & cpos) != 0 && (raw >> (pos - 1)) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                raw |= 1u128 << (cpos - 1);
+            }
+        }
+        // Overall parity over positions 1..=71 (even parity).
+        let ones = (raw & ((1u128 << CODE_BITS) - 1)).count_ones();
+        if ones % 2 == 1 {
+            raw |= 1u128 << PARITY_POS;
+        }
+        Codeword { raw }
+    }
+
+    /// Decodes a codeword, correcting a single-bit error and detecting
+    /// double-bit errors.
+    pub fn decode(self, mut cw: Codeword) -> DecodeOutcome {
+        let mut syndrome = 0u32;
+        for k in 0..7u32 {
+            let cpos = 1u32 << k;
+            let mut parity = 0u32;
+            for pos in 1..=CODE_BITS {
+                if (pos & cpos) != 0 && (cw.raw >> (pos - 1)) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                syndrome |= cpos;
+            }
+        }
+        let overall = (cw.raw.count_ones() % 2) as u32; // includes parity bit ⇒ should be 0
+
+        match (syndrome, overall) {
+            (0, 0) => DecodeOutcome::Clean(self.extract(cw)),
+            (0, 1) => {
+                // Error in the overall-parity bit itself; data intact.
+                DecodeOutcome::Corrected(self.extract(cw))
+            }
+            (s, 1) => {
+                if s > CODE_BITS {
+                    // Syndrome points outside the codeword — multi-bit upset.
+                    return DecodeOutcome::DetectedUncorrectable;
+                }
+                cw.raw ^= 1u128 << (s - 1);
+                DecodeOutcome::Corrected(self.extract(cw))
+            }
+            (_, 0) => DecodeOutcome::DetectedUncorrectable,
+            _ => unreachable!(),
+        }
+    }
+
+    fn extract(self, cw: Codeword) -> u64 {
+        let mut data = 0u64;
+        for (i, pos) in data_positions().enumerate() {
+            if (cw.raw >> (pos - 1)) & 1 == 1 {
+                data |= 1u64 << i;
+            }
+        }
+        data
+    }
+}
+
+impl Codeword {
+    /// Flips bit `bit` (0..72) of the stored codeword — a particle strike.
+    pub fn flip(&mut self, bit: u32) {
+        assert!(bit < 72, "codeword has 72 bits");
+        self.raw ^= 1u128 << bit;
+    }
+
+    /// Number of codeword bits (including overall parity).
+    pub const BITS: u32 = 72;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        let codec = SecdedCodec;
+        for data in [0u64, 1, u64::MAX, 0xdead_beef_cafe_babe, 0x5555_5555_5555_5555] {
+            assert_eq!(codec.decode(codec.encode(data)), DecodeOutcome::Clean(data));
+        }
+    }
+
+    #[test]
+    fn single_bit_errors_are_corrected_everywhere() {
+        let codec = SecdedCodec;
+        let data = 0x0123_4567_89ab_cdef;
+        for bit in 0..72 {
+            let mut cw = codec.encode(data);
+            cw.flip(bit);
+            assert_eq!(codec.decode(cw), DecodeOutcome::Corrected(data), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn double_bit_errors_are_detected_not_miscorrected() {
+        let codec = SecdedCodec;
+        let data = 0xfeed_f00d_dead_c0de;
+        for b1 in 0..72u32 {
+            for b2 in (b1 + 1)..72 {
+                let mut cw = codec.encode(data);
+                cw.flip(b1);
+                cw.flip(b2);
+                assert_eq!(codec.decode(cw), DecodeOutcome::DetectedUncorrectable, "bits {b1},{b2}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data: u64) {
+            let codec = SecdedCodec;
+            prop_assert_eq!(codec.decode(codec.encode(data)), DecodeOutcome::Clean(data));
+        }
+
+        #[test]
+        fn prop_single_error_corrected(data: u64, bit in 0u32..72) {
+            let codec = SecdedCodec;
+            let mut cw = codec.encode(data);
+            cw.flip(bit);
+            prop_assert_eq!(codec.decode(cw), DecodeOutcome::Corrected(data));
+        }
+
+        #[test]
+        fn prop_double_error_detected(data: u64, b1 in 0u32..72, b2 in 0u32..72) {
+            prop_assume!(b1 != b2);
+            let codec = SecdedCodec;
+            let mut cw = codec.encode(data);
+            cw.flip(b1);
+            cw.flip(b2);
+            prop_assert_eq!(codec.decode(cw), DecodeOutcome::DetectedUncorrectable);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # phidev — a Knights Corner (Xeon Phi 3120A) device model
+//!
+//! The paper's beam experiments irradiate a physical Intel Xeon Phi 3120A
+//! coprocessor (paper §3.1): 57 in-order cores, 4 hardware threads and
+//! 32 × 512-bit vector registers per core, 64 KB L1 + 512 KB L2 per core,
+//! 6 GB GDDR5, 22 nm Tri-gate process, protected by Intel's Machine Check
+//! Architecture with SECDED ECC on the main memory structures.
+//!
+//! This crate models the parts of that device that determine how a neutron
+//! strike becomes (or does not become) an architectural error:
+//!
+//! * [`topology`] — the chip's resource geometry and sizes;
+//! * [`ecc`] — a real Hamming SECDED(72,64) codec: single-bit strikes on
+//!   protected structures are corrected, double-bit strikes raise machine
+//!   checks (paper §2.1: "SECDED ECC normally triggers application crash
+//!   when a double bit error is detected");
+//! * [`resources`] — the inventory of strike targets with protection domains
+//!   and relative sensitive areas, distinguishing the ECC-protected storage
+//!   from the unprotected pipeline flip-flops, dispatch logic and
+//!   interconnect that the paper holds responsible for the residual 193 FIT;
+//! * [`strike`] — propagation of a raw strike into an [`strike::ArchEffect`]
+//!   (corrected / detected-uncorrectable / silent corruption of a given
+//!   scope / control-flow upset / no effect);
+//! * [`mca`] — a minimal Machine Check Architecture event log.
+
+pub mod ecc;
+pub mod mca;
+pub mod resources;
+pub mod strike;
+pub mod topology;
+
+pub use ecc::{Codeword, DecodeOutcome, SecdedCodec};
+pub use resources::{Protection, ResourceInventory, ResourceKind, ResourceSpec};
+pub use strike::{ArchEffect, CorruptionScope, StrikeEngine, StrikeTuning};
+pub use topology::{Knc3120a, KNC_CORES, KNC_HW_THREADS, KNC_LOGICAL_THREADS};

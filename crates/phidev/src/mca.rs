@@ -1,0 +1,90 @@
+//! A minimal Machine Check Architecture event log.
+//!
+//! The 3120A reports ECC events through MCA banks (paper §3.1). The beam
+//! simulator records corrected events (CMCI) and uncorrectable events
+//! (MCERR, which abort the application) so campaigns can report the
+//! corrected-to-uncorrected ratio alongside the SDC/DUE counts — the measure
+//! Cher et al. used for BlueGene/Q (paper §2.2).
+
+use crate::resources::ResourceKind;
+use serde::{Deserialize, Serialize};
+
+/// Severity of a machine-check event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum McaSeverity {
+    /// Corrected (CMCI): SECDED fixed a single-bit upset.
+    Corrected,
+    /// Uncorrectable (MCERR): application aborts — a DUE.
+    Uncorrectable,
+}
+
+/// One MCA event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McaEvent {
+    pub severity: McaSeverity,
+    pub resource: ResourceKind,
+    /// Strike index within the campaign that produced the event.
+    pub strike: u64,
+}
+
+/// Accumulates MCA events over a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct McaLog {
+    events: Vec<McaEvent>,
+}
+
+impl McaLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, severity: McaSeverity, resource: ResourceKind, strike: u64) {
+        self.events.push(McaEvent { severity, resource, strike });
+    }
+
+    pub fn events(&self) -> &[McaEvent] {
+        &self.events
+    }
+
+    pub fn corrected_count(&self) -> usize {
+        self.events.iter().filter(|e| e.severity == McaSeverity::Corrected).count()
+    }
+
+    pub fn uncorrectable_count(&self) -> usize {
+        self.events.iter().filter(|e| e.severity == McaSeverity::Uncorrectable).count()
+    }
+
+    /// Corrected events per uncorrectable event (∞ when none uncorrectable).
+    pub fn corrected_ratio(&self) -> f64 {
+        let unc = self.uncorrectable_count();
+        if unc == 0 {
+            f64::INFINITY
+        } else {
+            self.corrected_count() as f64 / unc as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_ratio() {
+        let mut log = McaLog::new();
+        log.record(McaSeverity::Corrected, ResourceKind::L2Cache, 1);
+        log.record(McaSeverity::Corrected, ResourceKind::L1Cache, 2);
+        log.record(McaSeverity::Uncorrectable, ResourceKind::L2Cache, 3);
+        assert_eq!(log.corrected_count(), 2);
+        assert_eq!(log.uncorrectable_count(), 1);
+        assert_eq!(log.corrected_ratio(), 2.0);
+        assert_eq!(log.events().len(), 3);
+    }
+
+    #[test]
+    fn ratio_is_infinite_without_uncorrectables() {
+        let mut log = McaLog::new();
+        log.record(McaSeverity::Corrected, ResourceKind::L1Cache, 0);
+        assert!(log.corrected_ratio().is_infinite());
+    }
+}

@@ -1,0 +1,140 @@
+//! Geometry and sizes of the Xeon Phi 3120A (Knights Corner).
+//!
+//! Numbers from paper §3.1 and the Intel KNC system software developer's
+//! guide the paper cites: 57 physical in-order cores, 4 hardware threads per
+//! core, 32 × 512-bit vector registers per thread context, 64 KB L1 and
+//! 512 KB L2 per core, 6 GB GDDR5, cores joined by a bidirectional ring.
+
+/// Physical in-order cores on the 3120A.
+pub const KNC_CORES: usize = 57;
+/// Hardware threads per core.
+pub const KNC_HW_THREADS: usize = 4;
+/// Logical threads the paper's OpenMP runs use (57 cores × 4 threads = 228).
+pub const KNC_LOGICAL_THREADS: usize = KNC_CORES * KNC_HW_THREADS;
+/// 512-bit vector registers per thread context.
+pub const KNC_VECTOR_REGS: usize = 32;
+/// Vector register width in bits.
+pub const KNC_VECTOR_BITS: usize = 512;
+/// L1 data cache per core, bytes.
+pub const KNC_L1_BYTES: usize = 64 * 1024;
+/// L2 cache per core, bytes.
+pub const KNC_L2_BYTES: usize = 512 * 1024;
+/// GDDR5 main memory, bytes (excluded from the beam in the paper).
+pub const KNC_GDDR_BYTES: usize = 6 * 1024 * 1024 * 1024;
+/// Cache line size, bytes.
+pub const KNC_LINE_BYTES: usize = 64;
+/// Process node, nanometres (22 nm Tri-gate).
+pub const KNC_PROCESS_NM: u32 = 22;
+
+/// Identifier of a logical (hardware) thread on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogicalThread(pub u16);
+
+impl LogicalThread {
+    /// The physical core hosting this thread.
+    pub fn core(self) -> u16 {
+        self.0 / KNC_HW_THREADS as u16
+    }
+
+    /// The hardware-thread slot within the core.
+    pub fn slot(self) -> u16 {
+        self.0 % KNC_HW_THREADS as u16
+    }
+
+    /// All logical threads sharing this thread's core (including itself).
+    pub fn core_siblings(self) -> [LogicalThread; KNC_HW_THREADS] {
+        let base = self.core() * KNC_HW_THREADS as u16;
+        [LogicalThread(base), LogicalThread(base + 1), LogicalThread(base + 2), LogicalThread(base + 3)]
+    }
+}
+
+/// The modelled device.
+#[derive(Debug, Clone)]
+pub struct Knc3120a {
+    pub cores: usize,
+    pub hw_threads: usize,
+    pub l1_bytes: usize,
+    pub l2_bytes: usize,
+    pub vector_regs: usize,
+    pub vector_bits: usize,
+    pub line_bytes: usize,
+}
+
+impl Default for Knc3120a {
+    fn default() -> Self {
+        Knc3120a {
+            cores: KNC_CORES,
+            hw_threads: KNC_HW_THREADS,
+            l1_bytes: KNC_L1_BYTES,
+            l2_bytes: KNC_L2_BYTES,
+            vector_regs: KNC_VECTOR_REGS,
+            vector_bits: KNC_VECTOR_BITS,
+            line_bytes: KNC_LINE_BYTES,
+        }
+    }
+}
+
+impl Knc3120a {
+    /// Logical threads available to an application.
+    pub fn logical_threads(&self) -> usize {
+        self.cores * self.hw_threads
+    }
+
+    /// Total on-die SRAM bytes (L1 + L2, all cores) — the ECC-protected
+    /// storage the beam can reach (GDDR5 is shielded in the experiments).
+    pub fn on_die_sram_bytes(&self) -> usize {
+        self.cores * (self.l1_bytes + self.l2_bytes)
+    }
+
+    /// Total vector-register file bytes across the chip.
+    pub fn vector_file_bytes(&self) -> usize {
+        self.cores * self.hw_threads * self.vector_regs * self.vector_bits / 8
+    }
+
+    /// f64 lanes per vector register.
+    pub fn f64_lanes(&self) -> usize {
+        self.vector_bits / 64
+    }
+
+    /// f32 lanes per vector register.
+    pub fn f32_lanes(&self) -> usize {
+        self.vector_bits / 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figures_match() {
+        let d = Knc3120a::default();
+        assert_eq!(d.logical_threads(), 228);
+        assert_eq!(d.f64_lanes(), 8);
+        assert_eq!(d.f32_lanes(), 16);
+        assert_eq!(d.on_die_sram_bytes(), 57 * (64 + 512) * 1024);
+    }
+
+    #[test]
+    fn logical_thread_core_mapping() {
+        assert_eq!(LogicalThread(0).core(), 0);
+        assert_eq!(LogicalThread(3).core(), 0);
+        assert_eq!(LogicalThread(4).core(), 1);
+        assert_eq!(LogicalThread(227).core(), 56);
+        assert_eq!(LogicalThread(5).slot(), 1);
+    }
+
+    #[test]
+    fn core_siblings_share_a_core() {
+        let sibs = LogicalThread(9).core_siblings();
+        assert_eq!(sibs.map(|t| t.core()), [2, 2, 2, 2]);
+        assert!(sibs.contains(&LogicalThread(9)));
+    }
+
+    #[test]
+    fn vector_file_size() {
+        let d = Knc3120a::default();
+        // 57 cores * 4 threads * 32 regs * 64 B = 466944 B.
+        assert_eq!(d.vector_file_bytes(), 57 * 4 * 32 * 64);
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: inject 400 faults into DGEMM and classify the outcomes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the minimal CAROL-FI workflow from the paper (§5–§6): build a
+//! benchmark, compute its golden output, run an injection campaign cycling
+//! the four fault models, and read the Masked/SDC/DUE split.
+
+use phi_reliability::carolfi::{run_campaign, CampaignConfig};
+use phi_reliability::kernels::{build, golden, Benchmark, SizeClass};
+use phi_reliability::sdc_analysis::pvf::{by_model, OutcomeBreakdown, PvfKind};
+
+fn main() {
+    let bench = Benchmark::Dgemm;
+    let size = SizeClass::Small;
+
+    // 1. A fault-free run produces the golden output.
+    let gold = golden(bench, size);
+
+    // 2. Run the campaign: each trial interrupts a fresh execution at a
+    //    random step, corrupts one variable picked by the GDB-style
+    //    thread → frame → variable walk, and resumes under a watchdog.
+    let cfg = CampaignConfig { trials: 400, seed: 1, n_windows: bench.n_windows(), ..Default::default() };
+    let campaign = run_campaign(bench.label(), || build(bench, size), &gold, &cfg);
+
+    // 3. Outcome breakdown (the paper's Fig. 4 for this benchmark).
+    let bd = OutcomeBreakdown::of(&campaign.records);
+    println!("{bench}: {} injections", bd.trials);
+    println!("  masked {:5.1}%   sdc {:5.1}%   due {:5.1}%", bd.masked_pct(), bd.sdc_pct(), bd.due_pct());
+
+    // 4. Per-fault-model SDC vulnerability (Fig. 5a for this benchmark).
+    let sdc = by_model(&campaign.records, PvfKind::Sdc);
+    println!("  SDC PVF by fault model:");
+    for (model, pvf) in &sdc.groups {
+        let iv = pvf.interval();
+        println!("    {:7} {:5.1}%  (95% CI {:4.1}–{:4.1}%)", model.label(), pvf.percent(), iv.lo * 100.0, iv.hi * 100.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration tests for the beam-experiment pipeline:
+//! device model → strike effects → kernels → FIT/spatial analysis.
+
+use phi_reliability::beamsim::{campaign::engine_for, run_beam_campaign, BeamCampaign, BeamConfig};
+use phi_reliability::kernels::{build, golden, Benchmark, SizeClass};
+use phi_reliability::sdc_analysis::spatial::{self, SpatialPattern};
+use phi_reliability::sdc_analysis::tolerance::{paper_tolerances, ToleranceCurve};
+
+fn mini_beam(b: Benchmark, strikes: usize, seed: u64) -> BeamCampaign {
+    let g = golden(b, SizeClass::Test);
+    let cfg = BeamConfig { strikes, seed, n_windows: b.n_windows(), engine: engine_for(b.label()), ..Default::default() };
+    run_beam_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg)
+}
+
+#[test]
+fn all_beam_benchmarks_produce_finite_fit() {
+    for b in Benchmark::BEAM {
+        let c = mini_beam(b, 500, 71);
+        let sdc = c.fit_sdc().fit();
+        let due = c.fit_due().fit();
+        assert!(sdc.is_finite() && sdc >= 0.0, "{b}");
+        assert!(due.is_finite() && due >= 0.0, "{b}");
+        assert!(c.error_rate_per_strike() < 0.6, "{b}: too many strikes become errors");
+    }
+}
+
+#[test]
+fn cubic_patterns_appear_only_for_lavamd() {
+    // Paper §4.3: "LavaMD is the only benchmark working with three
+    // dimensional simulations, it is the only one that can exhibit a cubic
+    // error pattern."
+    for b in Benchmark::BEAM {
+        let c = mini_beam(b, 1200, 73);
+        let hist = spatial::histogram(c.sdc_summaries().into_iter());
+        let cubic = hist.get(&SpatialPattern::Cubic).copied().unwrap_or(0);
+        if b == Benchmark::Lavamd {
+            assert!(cubic > 0, "lavamd should show cubic patterns");
+        } else {
+            assert_eq!(cubic, 0, "{b} cannot be cubic (2-D output)");
+        }
+    }
+}
+
+#[test]
+fn multi_element_sdcs_dominate_for_stencil_codes() {
+    // Paper §2.1/§4.3: well under half of corrupted executions have a
+    // single wrong element; iterative codes spread errors.
+    for b in [Benchmark::Hotspot, Benchmark::Clamr] {
+        let c = mini_beam(b, 1500, 79);
+        let summaries = c.sdc_summaries();
+        if summaries.len() < 20 {
+            continue;
+        }
+        let single = summaries.iter().filter(|s| s.wrong == 1).count();
+        assert!(
+            (single as f64) < 0.3 * summaries.len() as f64,
+            "{b}: {single}/{} single-element SDCs",
+            summaries.len()
+        );
+    }
+}
+
+#[test]
+fn ecc_absorbs_cache_strikes() {
+    let c = mini_beam(Benchmark::Dgemm, 1000, 83);
+    // With ~50 of 100 area weight on SECDED caches and a low double-bit
+    // rate, corrected events must dominate machine checks.
+    assert!(c.mca.corrected_count() > 10 * c.mca.uncorrectable_count().max(1) / 2);
+}
+
+#[test]
+fn tolerance_curves_are_monotone_for_every_benchmark() {
+    for b in Benchmark::BEAM {
+        let c = mini_beam(b, 800, 89);
+        let summaries = c.sdc_summaries();
+        let curve = ToleranceCurve::from_summaries(b.label(), summaries.iter().copied(), &paper_tolerances());
+        let red = curve.fit_reduction_percent();
+        for w in red.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{b}: non-monotone {red:?}");
+        }
+    }
+}
+
+#[test]
+fn beam_campaigns_are_deterministic() {
+    let a = mini_beam(Benchmark::Hotspot, 300, 97);
+    let b = mini_beam(Benchmark::Hotspot, 300, 97);
+    assert_eq!(a.fit_sdc().events, b.fit_sdc().events);
+    assert_eq!(a.fit_due().events, b.fit_due().events);
+}
+
+#[test]
+fn ecc_off_ablation_raises_the_error_rate() {
+    // DESIGN.md ablation: "FIT contribution of protected arrays".
+    use phi_reliability::phidev::resources::ResourceInventory;
+    use phi_reliability::phidev::strike::{StrikeEngine, StrikeTuning};
+    let g = golden(Benchmark::Lud, SizeClass::Test);
+    let on = mini_beam(Benchmark::Lud, 1200, 101);
+    let cfg_off = BeamConfig {
+        strikes: 1200,
+        seed: 101,
+        n_windows: 4,
+        engine: StrikeEngine::new(ResourceInventory::knc3120a_ecc_off(), StrikeTuning::default()),
+        ..Default::default()
+    };
+    let off = run_beam_campaign("lud", || build(Benchmark::Lud, SizeClass::Test), &g, &cfg_off);
+    assert!(
+        off.error_rate_per_strike() > on.error_rate_per_strike(),
+        "ECC off ({}) must beat ECC on ({})",
+        off.error_rate_per_strike(),
+        on.error_rate_per_strike()
+    );
+}

@@ -1,0 +1,125 @@
+//! Integration tests tying the mitigation techniques to the campaign
+//! machinery: the §6.1 "measure, then harden selectively" loop.
+
+use phi_reliability::carolfi::{run_campaign, CampaignConfig};
+use phi_reliability::kernels::{build, golden, Benchmark, SizeClass};
+use phi_reliability::mitigation::abft::{AbftCheckedProduct, AbftOutcome};
+use phi_reliability::mitigation::checkpoint::CheckpointModel;
+use phi_reliability::mitigation::parity::ParityWord;
+use phi_reliability::mitigation::residue::ResidueChecked;
+use phi_reliability::sdc_analysis::fit::MachineProjection;
+use rand::Rng;
+
+#[test]
+fn abft_corrects_the_beam_style_dgemm_patterns() {
+    // Paper §4.3: "for the Xeon Phi most of the observed SDCs in DGEMM could
+    // be corrected by ABFT" — single, line and scattered-random patterns.
+    let n = 32;
+    let mut rng = phi_reliability::carolfi::rng::fork(0xAB, 0);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut corrected = 0;
+    let trials = 60;
+    for t in 0..trials {
+        let mut p = AbftCheckedProduct::multiply(&a, &b, n);
+        match t % 3 {
+            0 => p.c[(t * 5) % (n * n)] += 2.0, // single
+            1 => {
+                let row = (t * 3) % n; // vector-lane line
+                for l in 0..8 {
+                    p.c[row * n + l] += 1.0 + l as f64;
+                }
+            }
+            _ => {
+                // scattered: one error per row/column
+                p.c[((t % n) * n) + (t * 7) % n] += 3.0;
+            }
+        }
+        if matches!(p.verify_and_correct(), AbftOutcome::Corrected { .. }) {
+            corrected += 1;
+        }
+    }
+    assert_eq!(corrected, trials);
+}
+
+#[test]
+fn parity_catches_the_single_model_on_nw_style_words() {
+    // §6.1: "For NW, a simple parity would detect most SDCs since single
+    // faults are more critical than the others types of faults."
+    let mut rng = phi_reliability::carolfi::rng::fork(0x42u64, 1);
+    let mut detected = 0;
+    let trials = 500;
+    for _ in 0..trials {
+        let v: u64 = rng.gen();
+        let mut w = ParityWord::new(v);
+        let bit = rng.gen_range(0..64);
+        w.value ^= 1u64 << bit; // the Single fault model
+        if !w.check() {
+            detected += 1;
+        }
+    }
+    assert_eq!(detected, trials, "parity must catch every single-bit fault");
+}
+
+#[test]
+fn residue_checking_survives_a_nw_like_dp_recurrence() {
+    // Run a miniature integer DP with residue-checked arithmetic; a clean
+    // run must never raise a false alarm, and value corruption must trip it.
+    let n = 24;
+    let mut cells: Vec<ResidueChecked<15>> = vec![ResidueChecked::new(0); n * n];
+    for i in 1..n {
+        for j in 1..n {
+            let up = cells[(i - 1) * n + j];
+            let left = cells[i * n + (j - 1)];
+            let sum = up.add(left).add(ResidueChecked::new(((i * j) % 7) as i64 - 3));
+            assert!(sum.check(), "false alarm at ({i},{j})");
+            cells[i * n + j] = sum;
+        }
+    }
+    // Corrupt one cell's value (not its residue): detected on check.
+    cells[5 * n + 5].value ^= 1 << 13;
+    assert!(!cells[5 * n + 5].check());
+}
+
+#[test]
+fn measured_due_rates_feed_the_checkpoint_model() {
+    // Close the loop: campaign DUE fraction → machine MTBF → Daly interval.
+    let b = Benchmark::Lud;
+    let g = golden(b, SizeClass::Test);
+    let cfg = CampaignConfig { trials: 400, seed: 113, n_windows: b.n_windows(), ..Default::default() };
+    let campaign = run_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+    let due_fraction = campaign.due_fraction();
+    assert!(due_fraction > 0.0, "LUD must show DUEs");
+
+    // Illustrative absolute scale: a 50-FIT DUE device.
+    let machine = MachineProjection::trinity(50.0 * due_fraction / due_fraction); // 50 FIT
+    let model = CheckpointModel::new(machine.mtbf_hours(), 0.25, 0.1);
+    let hardened = model.with_due_scaled(1.0 - due_fraction.min(0.9));
+    assert!(hardened.young_interval() > model.young_interval());
+    assert!(hardened.optimal_overhead() < model.optimal_overhead());
+}
+
+#[test]
+fn dwc_protected_controls_convert_sdc_to_detection() {
+    use phi_reliability::mitigation::redundancy::Dwc;
+    // Emulate the §6 DGEMM recommendation: wrap the nine per-thread loop
+    // controls in DWC; any single-copy corruption becomes a detection.
+    let mut controls: Vec<Dwc<u64>> = (0..9 * 8).map(|i| Dwc::new(i as u64)).collect();
+    let mut rng = phi_reliability::carolfi::rng::fork(0xD2C, 0);
+    let mut detections = 0;
+    for _ in 0..100 {
+        let victim = rng.gen_range(0..controls.len());
+        let bit = rng.gen_range(0..64);
+        if rng.gen_bool(0.5) {
+            *controls[victim].copies_mut().0 ^= 1u64 << bit;
+        } else {
+            *controls[victim].copies_mut().1 ^= 1u64 << bit;
+        }
+        if controls[victim].read().is_err() {
+            detections += 1;
+            let fixed = victim as u64;
+            controls[victim].write(fixed);
+        }
+    }
+    assert_eq!(detections, 100);
+}

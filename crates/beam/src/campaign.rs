@@ -15,14 +15,14 @@
 use crate::effects::BeamApplicator;
 use crate::flux::FluxEnvironment;
 use carolfi::output::Output;
-use carolfi::record::{OutcomeRecord, TrialRecord};
+use carolfi::record::{DueKind, OutcomeRecord, TrialRecord};
 use carolfi::supervisor::{run_trial, TrialConfig, TrialOutcome};
 use carolfi::target::FaultTarget;
 use phidev::mca::{McaLog, McaSeverity};
 use phidev::strike::{ArchEffect, StrikeEngine};
 use rand::Rng;
 use sdc_analysis::fit::FitEstimate;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Calibrated total sensitive cross-section of the modelled 3120A, cm².
 ///
@@ -31,6 +31,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// details about the hardware"); chosen so the most SDC-sensitive benchmark
 /// lands near the paper's ≈193 FIT ceiling.
 pub const SIGMA_RAW_CM2: f64 = 9.0e-8;
+
+/// Per-strike result slot: the record, the MCA severity (if any) and the
+/// outcome-counter key, filled by whichever worker executed the strike.
+type StrikeSlot = Option<(TrialRecord, Option<McaSeverity>, &'static str)>;
 
 /// Per-benchmark control-flow densities used to build the strike engine for
 /// the Fig. 2 reproduction. Derived from each benchmark's character (paper
@@ -119,6 +123,33 @@ pub struct BeamCampaign {
     pub mca: McaLog,
     pub sigma_raw: f64,
     pub environment: FluxEnvironment,
+    /// Campaign-level gauges (throughput, utilization, outcome counts).
+    /// Rate gauges are zero when the records were loaded rather than run.
+    pub report: obs::CampaignReport,
+}
+
+/// Static outcome key per strike outcome, shared by the live telemetry
+/// counters and the [`obs::CampaignReport`]. Beam strikes have no fault
+/// model, so outcomes are keyed under a single `beam/` prefix.
+pub fn outcome_key(outcome: &OutcomeRecord) -> &'static str {
+    match outcome {
+        OutcomeRecord::Masked => "beam/masked",
+        OutcomeRecord::HardwareMasked => "beam/hw-masked",
+        OutcomeRecord::Sdc(_) => "beam/sdc",
+        OutcomeRecord::Due(_) => "beam/due",
+    }
+}
+
+/// Builds the campaign report from finished strike records (also used by
+/// callers reloading cached records, which carry no timing information).
+pub fn report_for(benchmark: &str, records: &[TrialRecord], workers: usize, busy_ns: u64, wall_ns: u64) -> obs::CampaignReport {
+    let mut builder = obs::ReportBuilder::new(benchmark, workers);
+    for r in records {
+        let timed_out = matches!(r.outcome, OutcomeRecord::Due(DueKind::Timeout));
+        builder.record_outcome(outcome_key(&r.outcome), timed_out);
+    }
+    builder.add_busy_ns(busy_ns);
+    builder.finish(wall_ns)
 }
 
 impl BeamCampaign {
@@ -174,6 +205,8 @@ where
 {
     let _quiet = carolfi::panic_guard::silence_panics();
     let total_steps = factory().total_steps().max(1);
+    let wall = std::time::Instant::now();
+    let busy_ns = AtomicU64::new(0);
     let next = AtomicUsize::new(0);
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -181,60 +214,72 @@ where
         cfg.workers
     };
     let workers = workers.min(cfg.strikes.max(1));
-    let slots: Vec<parking_lot::Mutex<Option<(TrialRecord, Option<McaSeverity>, &'static str)>>> =
+    let slots: Vec<parking_lot::Mutex<StrikeSlot>> =
         (0..cfg.strikes).map(|_| parking_lot::Mutex::new(None)).collect();
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let strike = next.fetch_add(1, Ordering::Relaxed);
-                if strike >= cfg.strikes {
-                    break;
-                }
-                let mut rng = carolfi::rng::fork(cfg.seed, strike as u64);
-                let (resource, effect) = cfg.engine.strike(&mut rng);
-                let inject_step = rng.gen_range(0..total_steps);
-                let mca_event = match effect {
-                    ArchEffect::Corrected => Some(McaSeverity::Corrected),
-                    ArchEffect::DetectedUncorrectable => Some(McaSeverity::Uncorrectable),
-                    _ => None,
-                };
-
-                // Benign strikes don't need an execution.
-                let (outcome, injection, executed) = if effect.is_benign() {
-                    (OutcomeRecord::HardwareMasked, None, 0)
-                } else {
-                    let mut applicator = BeamApplicator { effect, resource: resource.label() };
-                    let result = run_trial(
-                        factory(),
-                        golden,
-                        &mut applicator,
-                        TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
-                        &mut rng,
-                    );
-                    let outcome = match result.outcome {
-                        TrialOutcome::Masked => OutcomeRecord::Masked,
-                        TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
-                        TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
-                        TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
+            scope.spawn(|_| {
+                let mut local_busy = 0u64;
+                loop {
+                    let strike = next.fetch_add(1, Ordering::Relaxed);
+                    if strike >= cfg.strikes {
+                        break;
+                    }
+                    let mut rng = carolfi::rng::fork(cfg.seed, strike as u64);
+                    let (resource, effect) = cfg.engine.strike(&mut rng);
+                    let inject_step = rng.gen_range(0..total_steps);
+                    let mca_event = match effect {
+                        ArchEffect::Corrected => Some(McaSeverity::Corrected),
+                        ArchEffect::DetectedUncorrectable => Some(McaSeverity::Uncorrectable),
+                        _ => None,
                     };
-                    (outcome, result.injection, result.executed_steps)
-                };
 
-                let record = TrialRecord {
-                    trial: strike,
-                    benchmark: benchmark.to_string(),
-                    model: None,
-                    mechanism: format!("beam:{}:{}", resource.label(), effect.label()),
-                    inject_step,
-                    total_steps,
-                    window: carolfi::campaign::window_of(inject_step, total_steps, cfg.n_windows),
-                    n_windows: cfg.n_windows,
-                    injection,
-                    outcome,
-                    executed_steps: executed,
-                };
-                *slots[strike].lock() = Some((record, mca_event, resource.label()));
+                    // Benign strikes don't need an execution.
+                    let t0 = std::time::Instant::now();
+                    let (outcome, injection, executed) = if effect.is_benign() {
+                        (OutcomeRecord::HardwareMasked, None, 0)
+                    } else {
+                        let mut applicator = BeamApplicator { effect, resource: resource.label() };
+                        let result = run_trial(
+                            factory(),
+                            golden,
+                            &mut applicator,
+                            TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
+                            &mut rng,
+                        );
+                        let outcome = match result.outcome {
+                            TrialOutcome::Masked => OutcomeRecord::Masked,
+                            TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
+                            TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
+                            TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
+                        };
+                        (outcome, result.injection, result.executed_steps)
+                    };
+                    local_busy += t0.elapsed().as_nanos() as u64;
+
+                    let record = TrialRecord {
+                        trial: strike,
+                        benchmark: benchmark.to_string(),
+                        model: None,
+                        mechanism: format!("beam:{}:{}", resource.label(), effect.label()),
+                        inject_step,
+                        total_steps,
+                        window: carolfi::campaign::window_of(inject_step, total_steps, cfg.n_windows),
+                        n_windows: cfg.n_windows,
+                        injection,
+                        outcome,
+                        executed_steps: executed,
+                    };
+                    obs::incr(outcome_key(&record.outcome), 1);
+                    if obs::enabled() {
+                        if let Ok(json) = serde_json::to_string(&record) {
+                            obs::event("strike", &json);
+                        }
+                    }
+                    *slots[strike].lock() = Some((record, mca_event, resource.label()));
+                }
+                busy_ns.fetch_add(local_busy, Ordering::Relaxed);
             });
         }
     })
@@ -257,7 +302,14 @@ where
         }
         records.push(record);
     }
-    BeamCampaign { benchmark: benchmark.to_string(), records, mca, sigma_raw: cfg.sigma_raw, environment: cfg.environment }
+    let report = report_for(
+        benchmark,
+        &records,
+        workers,
+        busy_ns.into_inner(),
+        wall.elapsed().as_nanos() as u64,
+    );
+    BeamCampaign { benchmark: benchmark.to_string(), records, mca, sigma_raw: cfg.sigma_raw, environment: cfg.environment, report }
 }
 
 #[cfg(test)]
@@ -318,6 +370,16 @@ mod tests {
             assert_eq!(ra.mechanism, rb.mechanism);
             assert_eq!(ra.outcome.label(), rb.outcome.label());
         }
+    }
+
+    #[test]
+    fn report_covers_every_strike() {
+        let c = mini_campaign(Benchmark::Dgemm, 300);
+        assert_eq!(c.report.trials, 300);
+        assert!(c.report.wall_ns > 0);
+        assert_eq!(c.report.outcomes.iter().map(|(_, n)| n).sum::<usize>(), 300);
+        assert_eq!(c.report.outcome("beam/sdc"), c.fit_sdc().events);
+        assert_eq!(c.report.outcome("beam/due"), c.fit_due().events);
     }
 
     #[test]

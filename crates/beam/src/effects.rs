@@ -200,7 +200,9 @@ mod tests {
     use carolfi::rng::fork;
     use carolfi::target::VarInfo;
 
-    fn state() -> (Vec<f64>, Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) {
+    type State = (Vec<f64>, Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>);
+
+    fn state() -> State {
         (vec![1.0; 512], vec![7; 1], vec![7; 1], vec![7; 1], vec![7; 1])
     }
 

@@ -67,7 +67,7 @@ mod tests {
     fn lansce_acceleration_is_6_to_8_orders_of_magnitude() {
         let lo = FluxEnvironment::lansce(LANSCE_FLUX_LOW).acceleration();
         let hi = FluxEnvironment::lansce(LANSCE_FLUX_HIGH).acceleration();
-        assert!(lo >= 1e6 && lo < 1e8, "low acceleration {lo}");
+        assert!((1e6..1e8).contains(&lo), "low acceleration {lo}");
         assert!(hi > 1e8 && hi < 1e9, "high acceleration {hi}");
     }
 

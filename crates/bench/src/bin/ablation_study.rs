@@ -133,11 +133,13 @@ fn inventory_from(specs: &[ResourceSpec]) -> ResourceInventory {
 }
 
 fn main() {
-    let trials: usize = std::env::var("PHI_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(2000);
-    let strikes: usize = std::env::var("PHI_STRIKES").ok().and_then(|v| v.parse().ok()).unwrap_or(4000);
+    let telemetry = bench::telemetry_from_args();
+    let trials = bench::positive_env("PHI_TRIALS", 2000);
+    let strikes = bench::positive_env("PHI_STRIKES", 4000);
     let size = SizeClass::Small;
     println!("Design-choice ablations (DESIGN.md §5)\n");
     selector_ablation(trials, size);
     ecc_ablation(strikes, size);
     shared_scope_ablation(strikes, size);
+    bench::print_telemetry(telemetry);
 }

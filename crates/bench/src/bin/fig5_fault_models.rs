@@ -36,6 +36,7 @@ fn print_table(kind: PvfKind, cfg: &RunConfig) {
 }
 
 fn main() {
+    let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
     println!("Figures 5a/5b reproduction — fault-model PVFs");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
@@ -44,4 +45,15 @@ fn main() {
     println!("Paper shape targets: Zero model yields the lowest DUE everywhere (zeroed values are");
     println!("valid pointers/indices); DGEMM & LUD (algebraic class) show similar model profiles;");
     println!("NW: Zero ⇒ (almost) no SDCs, Single the highest SDC, Double/Random the highest DUE.");
+
+    if telemetry.is_some() {
+        println!();
+        for b in Benchmark::ALL {
+            // Cached records carry no timing; the report still gives the
+            // per-model outcome counts behind the PVF tables.
+            let records = injection_records(b, &cfg);
+            print!("{}", carolfi::campaign::report_for(b.label(), &records, 0, 0, 0));
+        }
+    }
+    bench::print_telemetry(telemetry);
 }

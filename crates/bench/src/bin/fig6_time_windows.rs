@@ -18,7 +18,7 @@ fn print_table(kind: PvfKind, cfg: &RunConfig) {
         PvfKind::Due => "Figure 6b — DUE PVF per execution-time window [%]",
     };
     println!("{title}");
-    println!("{:9} {}", "bench", "w1 .. wN");
+    println!("{:9} w1 .. wN", "bench");
     rule(88);
     for b in FIG6 {
         let records = injection_records(b, cfg);

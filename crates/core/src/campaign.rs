@@ -11,12 +11,12 @@
 
 use crate::models::{CarolFiApplicator, FaultModel};
 use crate::output::Output;
-use crate::record::{OutcomeRecord, TrialRecord};
+use crate::record::{DueKind, OutcomeRecord, TrialRecord};
 use crate::select::VariableSelector;
 use crate::supervisor::{run_trial, TrialConfig, TrialOutcome};
 use crate::target::FaultTarget;
 use rand::Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -42,7 +42,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             trials: 1000,
             models: FaultModel::ALL.to_vec(),
-            seed: 0xCA01_F1,
+            seed: 0x00CA_01F1,
             workers: 0,
             watchdog_factor: 4.0,
             n_windows: 4,
@@ -56,6 +56,49 @@ impl Default for CampaignConfig {
 pub struct Campaign {
     pub benchmark: String,
     pub records: Vec<TrialRecord>,
+    /// Campaign-level gauges (throughput, utilization, outcome counts).
+    /// Rate gauges are zero when the records were loaded rather than run.
+    pub report: obs::CampaignReport,
+}
+
+/// Static outcome key per (fault model × outcome), shared by the live
+/// telemetry counters and the [`obs::CampaignReport`] so the `--telemetry`
+/// footer and the report agree by construction.
+pub fn outcome_key(model: FaultModel, outcome: &OutcomeRecord) -> &'static str {
+    use FaultModel::*;
+    use OutcomeRecord::*;
+    match (model, outcome) {
+        (Single, Masked) => "single/masked",
+        (Single, HardwareMasked) => "single/hw-masked",
+        (Single, Sdc(_)) => "single/sdc",
+        (Single, Due(_)) => "single/due",
+        (Double, Masked) => "double/masked",
+        (Double, HardwareMasked) => "double/hw-masked",
+        (Double, Sdc(_)) => "double/sdc",
+        (Double, Due(_)) => "double/due",
+        (Random, Masked) => "random/masked",
+        (Random, HardwareMasked) => "random/hw-masked",
+        (Random, Sdc(_)) => "random/sdc",
+        (Random, Due(_)) => "random/due",
+        (Zero, Masked) => "zero/masked",
+        (Zero, HardwareMasked) => "zero/hw-masked",
+        (Zero, Sdc(_)) => "zero/sdc",
+        (Zero, Due(_)) => "zero/due",
+    }
+}
+
+/// Builds the campaign report from finished records (used both by
+/// [`run_campaign`] and by callers reloading cached records, which have no
+/// timing information).
+pub fn report_for(benchmark: &str, records: &[TrialRecord], workers: usize, busy_ns: u64, wall_ns: u64) -> obs::CampaignReport {
+    let mut builder = obs::ReportBuilder::new(benchmark, workers);
+    for r in records {
+        let model = r.model.expect("injection campaign records always carry a model");
+        let timed_out = matches!(r.outcome, OutcomeRecord::Due(DueKind::Timeout));
+        builder.record_outcome(outcome_key(model, &r.outcome), timed_out);
+    }
+    builder.add_busy_ns(busy_ns);
+    builder.finish(wall_ns)
 }
 
 impl Campaign {
@@ -120,6 +163,8 @@ where
     let _quiet = crate::panic_guard::silence_panics();
     let total_steps = factory().total_steps().max(1);
 
+    let wall = std::time::Instant::now();
+    let busy_ns = AtomicU64::new(0);
     let next = AtomicUsize::new(0);
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -132,42 +177,56 @@ where
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let trial = next.fetch_add(1, Ordering::Relaxed);
-                if trial >= cfg.trials {
-                    break;
+            scope.spawn(|_| {
+                let mut local_busy = 0u64;
+                loop {
+                    let trial = next.fetch_add(1, Ordering::Relaxed);
+                    if trial >= cfg.trials {
+                        break;
+                    }
+                    let mut rng = crate::rng::fork(cfg.seed, trial as u64);
+                    let model = cfg.models[trial % cfg.models.len()];
+                    let inject_step = rng.gen_range(0..total_steps);
+                    let mut applicator = CarolFiApplicator { model, selector: cfg.selector.clone() };
+                    let t0 = std::time::Instant::now();
+                    let result = run_trial(
+                        factory(),
+                        golden,
+                        &mut applicator,
+                        TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
+                        &mut rng,
+                    );
+                    local_busy += t0.elapsed().as_nanos() as u64;
+                    let outcome = match result.outcome {
+                        TrialOutcome::Masked => OutcomeRecord::Masked,
+                        TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
+                        TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
+                        TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
+                    };
+                    let record = TrialRecord {
+                        trial,
+                        benchmark: benchmark.to_string(),
+                        model: Some(model),
+                        mechanism: model.label().to_string(),
+                        inject_step,
+                        total_steps,
+                        window: window_of(inject_step, total_steps, cfg.n_windows),
+                        n_windows: cfg.n_windows,
+                        injection: result.injection,
+                        outcome,
+                        executed_steps: result.executed_steps,
+                    };
+                    obs::incr(outcome_key(model, &record.outcome), 1);
+                    // Serializing the record is only worth it when someone
+                    // is listening; `enabled()` guards the allocation.
+                    if obs::enabled() {
+                        if let Ok(json) = serde_json::to_string(&record) {
+                            obs::event("trial", &json);
+                        }
+                    }
+                    *records[trial].lock() = Some(record);
                 }
-                let mut rng = crate::rng::fork(cfg.seed, trial as u64);
-                let model = cfg.models[trial % cfg.models.len()];
-                let inject_step = rng.gen_range(0..total_steps);
-                let mut applicator = CarolFiApplicator { model, selector: cfg.selector.clone() };
-                let result = run_trial(
-                    factory(),
-                    golden,
-                    &mut applicator,
-                    TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
-                    &mut rng,
-                );
-                let outcome = match result.outcome {
-                    TrialOutcome::Masked => OutcomeRecord::Masked,
-                    TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
-                    TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
-                    TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
-                };
-                let record = TrialRecord {
-                    trial,
-                    benchmark: benchmark.to_string(),
-                    model: Some(model),
-                    mechanism: model.label().to_string(),
-                    inject_step,
-                    total_steps,
-                    window: window_of(inject_step, total_steps, cfg.n_windows),
-                    n_windows: cfg.n_windows,
-                    injection: result.injection,
-                    outcome,
-                    executed_steps: result.executed_steps,
-                };
-                *records[trial].lock() = Some(record);
+                busy_ns.fetch_add(local_busy, Ordering::Relaxed);
             });
         }
     })
@@ -177,7 +236,14 @@ where
         .into_iter()
         .map(|slot| slot.into_inner().expect("trial record missing"))
         .collect();
-    Campaign { benchmark: benchmark.to_string(), records }
+    let report = report_for(
+        benchmark,
+        &records,
+        workers,
+        busy_ns.into_inner(),
+        wall.elapsed().as_nanos() as u64,
+    );
+    Campaign { benchmark: benchmark.to_string(), records, report }
 }
 
 #[cfg(test)]
@@ -274,6 +340,65 @@ mod tests {
             let n = c.records.iter().filter(|r| r.model == Some(m)).count();
             assert_eq!(n, 10);
         }
+    }
+
+    #[test]
+    fn campaign_report_matches_records() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 100, seed: 7, workers: 4, ..Default::default() };
+        let c = run_campaign("victim", Victim::new, &g, &cfg);
+        assert_eq!(c.report.trials, 100);
+        assert_eq!(c.report.label, "victim");
+        assert!(c.report.wall_ns > 0);
+        assert!(c.report.trials_per_sec() > 0.0);
+        assert!(c.report.utilization() > 0.0);
+        // Outcome keys aggregate to the same totals as the records.
+        let (masked, sdc, due) = c.outcome_counts();
+        let by_key = |suffix: &str| -> usize {
+            c.report.outcomes.iter().filter(|(k, _)| k.ends_with(suffix)).map(|(_, n)| n).sum()
+        };
+        assert_eq!(by_key("/sdc"), sdc);
+        assert_eq!(by_key("/due"), due);
+        assert_eq!(by_key("/masked") + by_key("/hw-masked"), masked);
+        let timeouts = c.records.iter().filter(|r| matches!(r.outcome, OutcomeRecord::Due(DueKind::Timeout))).count();
+        assert_eq!(c.report.watchdog_fires, timeouts);
+    }
+
+    #[test]
+    fn jsonl_recorder_sees_every_trial_with_gapless_seq() {
+        let g = golden();
+        let buf = obs::SharedBuf::new();
+        obs::install(std::sync::Arc::new(obs::JsonlRecorder::new(buf.clone())));
+        let cfg = CampaignConfig { trials: 64, seed: 11, workers: 4, ..Default::default() };
+        let c = run_campaign("victim-telemetry", Victim::new, &g, &cfg);
+        if let Some(rec) = obs::uninstall() {
+            drop(rec); // drop flushes
+        }
+        assert_eq!(c.records.len(), 64);
+
+        #[derive(serde::Deserialize)]
+        struct Line {
+            seq: u64,
+            kind: String,
+            data: TrialRecord,
+        }
+        let text = String::from_utf8(buf.contents()).unwrap();
+        let mut seqs = Vec::new();
+        let mut mine = 0usize;
+        for line in text.lines() {
+            // Every line parses standalone; concurrent tests may interleave
+            // their own trial events, so filter by benchmark for the count.
+            let parsed: Line = serde_json::from_str(line).expect("torn JSONL line");
+            assert_eq!(parsed.kind, "trial");
+            seqs.push(parsed.seq);
+            if parsed.data.benchmark == "victim-telemetry" {
+                mine += 1;
+            }
+        }
+        assert_eq!(mine, 64, "one event per trial");
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..seqs.len() as u64).collect::<Vec<_>>(), "seq numbers are gapless");
     }
 
     #[test]

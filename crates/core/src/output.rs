@@ -22,7 +22,7 @@ pub enum Output {
 }
 
 /// One corrupted output element.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Mismatch {
     /// Element coordinates `[i, j, k]` (unused trailing dims are 0).
     pub coord: [usize; 3],
@@ -38,6 +38,18 @@ pub struct Mismatch {
     /// tolerance ever accepts them.
     #[serde(with = "crate::record::finite_or_tag")]
     pub rel_err: f64,
+}
+
+/// Bitwise equality: two mismatches are equal when they log identically.
+/// NaN observations are common (corrupted floats), and derived `PartialEq`
+/// would make such records unequal to themselves.
+impl PartialEq for Mismatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.coord == other.coord
+            && self.expected.to_bits() == other.expected.to_bits()
+            && self.got.to_bits() == other.got.to_bits()
+            && self.rel_err.to_bits() == other.rel_err.to_bits()
+    }
 }
 
 /// Denominator floor for relative error, so corrupted zeros still register.
@@ -210,7 +222,8 @@ mod tests {
         let golden = Output::F32Grid { dims, data: vec![0.0; 24] };
         let mut bad = golden.clone();
         if let Output::F32Grid { data, .. } = &mut bad {
-            data[(1 * 3 + 2) * 4 + 3] = 1.0;
+            let (i, j, k) = (1, 2, 3);
+            data[(i * 3 + j) * 4 + k] = 1.0;
         }
         let m = bad.mismatches(&golden);
         assert_eq!(m[0].coord, [1, 2, 3]);

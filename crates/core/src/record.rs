@@ -334,4 +334,38 @@ mod tests {
         let s = DiffSummary::from_mismatches(&[mm([0, 0, 0], 1.0)], [1, 1, 1]);
         assert!(OutcomeRecord::Sdc(s).is_sdc());
     }
+
+    /// Wrapper exercising `finite_or_tag` in isolation.
+    #[derive(Debug, Serialize, Deserialize)]
+    struct Tagged {
+        #[serde(with = "finite_or_tag")]
+        v: f64,
+    }
+
+    #[test]
+    fn finite_or_tag_roundtrips_nonfinite_values() {
+        for (v, tag) in [(f64::INFINITY, "inf"), (f64::NEG_INFINITY, "-inf"), (f64::NAN, "nan")] {
+            let json = serde_json::to_string(&Tagged { v }).unwrap();
+            assert!(json.contains(&format!("\"{tag}\"")), "{v} should serialize as the tag {tag:?}, got {json}");
+            let back: Tagged = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.v.to_bits(), v.to_bits(), "round-trip of {tag} must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn finite_or_tag_roundtrips_finite_values() {
+        for v in [0.0, -0.0, 1.5, -273.15, f64::MIN_POSITIVE, f64::MAX] {
+            let json = serde_json::to_string(&Tagged { v }).unwrap();
+            let back: Tagged = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.v.to_bits(), v.to_bits(), "round-trip of {v} must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn finite_or_tag_rejects_unknown_tag_strings() {
+        let err = serde_json::from_str::<Tagged>("{\"v\":\"not-a-float\"}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad float tag"), "error should name the problem, got {msg:?}");
+        assert!(msg.contains("not-a-float"), "error should echo the bad tag, got {msg:?}");
+    }
 }

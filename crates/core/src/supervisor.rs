@@ -106,6 +106,7 @@ pub fn run_trial<T: FaultTarget>(
     cfg: TrialConfig,
     rng: &mut StdRng,
 ) -> TrialResult {
+    let _trial_span = obs::span!("trial");
     let total = target.total_steps().max(1);
     let max_steps = ((total as f64) * cfg.watchdog_factor).ceil() as usize;
     let inject_step = cfg.inject_step.min(total.saturating_sub(1));
@@ -128,11 +129,12 @@ pub fn run_trial<T: FaultTarget>(
 
         // Phase 2: the Flip-script.
         let mut vars = target.variables();
-        injection = applicator.apply(&mut vars, rng);
-        drop(vars);
-        if injection.is_none() {
-            return None; // masked in hardware — no need to resume
+        {
+            let _span = obs::span!("fault_apply");
+            injection = applicator.apply(&mut vars, rng);
         }
+        drop(vars);
+        injection.as_ref()?; // masked in hardware — no need to resume
 
         // Phase 3: resume under the watchdog.
         if target.steps_executed() >= inject_step {
@@ -150,9 +152,16 @@ pub fn run_trial<T: FaultTarget>(
     }));
 
     let outcome = match run {
-        Err(payload) => TrialOutcome::Due(panic_message(payload)),
+        Err(payload) => {
+            let cause = panic_message(payload);
+            if cause == DueCause::Timeout {
+                obs::incr("watchdog.fired", 1);
+            }
+            TrialOutcome::Due(cause)
+        }
         Ok(None) => TrialOutcome::HardwareMasked,
         Ok(Some(output)) => {
+            let _span = obs::span!("compare");
             let mismatches = output.mismatches(golden);
             if mismatches.is_empty() {
                 TrialOutcome::Masked

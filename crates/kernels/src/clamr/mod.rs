@@ -419,7 +419,7 @@ impl Clamr {
     fn phase_flux_gradients_only(&mut self) {
         let n = self.h.len();
         let mut g = vec![0.0; n];
-        for c in 0..n {
+        for (c, gc) in g.iter_mut().enumerate() {
             let s = self.extent(c);
             let (ox, oy) = self.origin(c);
             let half = s / 2;
@@ -437,7 +437,7 @@ impl Clamr {
             let hr = sample_h((ox + s) as i64, (oy + half) as i64);
             let hd = sample_h((ox + half) as i64, oy as i64 - 1);
             let hu_ = sample_h((ox + half) as i64, (oy + s) as i64);
-            g[c] = (hl - hc).abs().max((hr - hc).abs()).max((hd - hc).abs()).max((hu_ - hc).abs());
+            *gc = (hl - hc).abs().max((hr - hc).abs()).max((hd - hc).abs()).max((hu_ - hc).abs());
         }
         self.grad = g;
     }

@@ -420,8 +420,9 @@ mod tests {
         let p = LavamdParams::test();
         let golden = run_to_done(Lavamd::new(p));
         let mut l = Lavamd::new(p);
-        // Move the first particle of the central box before anything runs.
-        let center = (1 * p.nb + 1) * p.nb + 1;
+        // Move the first particle of the central box (1,1,1) before anything
+        // runs: index (i*nb + j)*nb + k with i = j = k = 1.
+        let center = (p.nb + 1) * p.nb + 1;
         l.rv[center * p.par_per_box * 4] += 0.4;
         while l.step() == StepOutcome::Continue {}
         let m = l.output().mismatches(&golden);

@@ -86,7 +86,7 @@ pub struct Lud {
 
 impl Lud {
     pub fn new(p: LudParams) -> Self {
-        assert!(p.n % p.block == 0, "n must be a multiple of block");
+        assert!(p.n.is_multiple_of(p.block), "n must be a multiple of block");
         let nb = p.n / p.block;
         let mut rng = carolfi::rng::fork(p.seed, 0);
         let mut a: Vec<f32> = (0..p.n * p.n).map(|_| rng.gen_range(-1.0..1.0)).collect();

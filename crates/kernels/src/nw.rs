@@ -122,7 +122,7 @@ fn substitution_matrix(seed: u64) -> Vec<i32> {
 
 impl Nw {
     pub fn new(p: NwParams) -> Self {
-        assert!(p.n % p.block == 0, "n must be a multiple of block");
+        assert!(p.n.is_multiple_of(p.block), "n must be a multiple of block");
         let np1 = p.n + 1;
         let mut rng = carolfi::rng::fork(p.seed, 0);
         let seq1: Vec<i32> = (0..p.n).map(|_| rng.gen_range(0..ALPHABET as i32)).collect();
@@ -187,8 +187,8 @@ impl Nw {
         let c0 = jb * b;
         let sbase = self.ptr_score as usize;
         let rbase = self.ptr_ref as usize;
-        for tj in 0..=b {
-            tile[tj] = self.score[sbase + r0 * np1 + c0 + tj];
+        for (tj, t) in tile.iter_mut().enumerate().take(b + 1) {
+            *t = self.score[sbase + r0 * np1 + c0 + tj];
         }
         for ti in 1..=b {
             tile[ti * (b + 1)] = self.score[sbase + (r0 + ti) * np1 + c0];

@@ -41,10 +41,7 @@ where
                     // Catch per-item so one corrupted logical thread doesn't
                     // skip its chunk-mates' work non-deterministically; the
                     // first payload is re-raised after the scope joins.
-                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(ci * chunk + j, item)));
-                    if let Err(p) = r {
-                        return Err(p);
-                    }
+                    std::panic::catch_unwind(AssertUnwindSafe(|| f(ci * chunk + j, item)))?;
                 }
                 Ok(())
             }));

@@ -107,17 +107,19 @@ impl AbftCheckedProduct {
         // Row and column syndromes: actual − expected.
         let mut row_syn = vec![0.0; n];
         let mut col_syn = vec![0.0; n];
-        for i in 0..n {
+        for (i, syn) in row_syn.iter_mut().enumerate() {
             let actual: f64 = self.c[i * n..(i + 1) * n].iter().sum();
-            row_syn[i] = actual - self.row_sums[i];
+            *syn = actual - self.row_sums[i];
         }
-        for j in 0..n {
+        for (j, syn) in col_syn.iter_mut().enumerate() {
             let actual: f64 = (0..n).map(|i| self.c[i * n + j]).sum();
-            col_syn[j] = actual - self.col_sums[j];
+            *syn = actual - self.col_sums[j];
         }
         // NaN syndromes must register as failing (NaN > x is false, so the
         // comparison is written in the negated form).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         let bad_rows: Vec<usize> = (0..n).filter(|&i| !(row_syn[i].abs() <= self.tol(self.row_sums[i]))).collect();
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         let bad_cols: Vec<usize> = (0..n).filter(|&j| !(col_syn[j].abs() <= self.tol(self.col_sums[j]))).collect();
 
         if bad_rows.is_empty() && bad_cols.is_empty() {
@@ -253,7 +255,7 @@ mod tests {
         let golden = p.c.clone();
         p.c[2 * 16 + 9] += 1.25;
         p.c[11 * 16 + 4] -= 0.75;
-        p.c[14 * 16 + 0] += 9.0;
+        p.c[14 * 16] += 9.0; // column 0
         assert!(matches!(p.verify_and_correct(), AbftOutcome::Corrected { .. }));
         for (got, exp) in p.c.iter().zip(&golden) {
             assert!((got - exp).abs() < 1e-9);
@@ -294,7 +296,7 @@ mod tests {
         for _ in 0..trials {
             let mut p = AbftCheckedProduct::multiply(&a, &b, 16);
             // Vector-lane-style line corruption: 8 consecutive elements.
-            let start = rng.gen_range(0..16 * 16 - 8);
+            let start = rng.gen_range(0usize..16 * 16 - 8);
             // Keep it within one row so it models a 512-bit store.
             let start = (start / 16) * 16 + (start % 16).min(8);
             for l in 0..8 {

@@ -65,8 +65,7 @@ impl<T: FaultTarget> DwcControls<T> {
         let shadow = std::mem::take(&mut self.shadow);
         {
             let vars = self.inner.variables();
-            let mut idx = 0usize;
-            for v in vars.iter().filter(|v| is_protected(&v.info)) {
+            for (idx, v) in vars.iter().filter(|v| is_protected(&v.info)).enumerate() {
                 let slot = &shadow[idx];
                 debug_assert_eq!(slot.name, v.info.name);
                 if slot.bytes != v.bytes {
@@ -74,7 +73,6 @@ impl<T: FaultTarget> DwcControls<T> {
                     self.shadow = shadow;
                     panic!("{DWC_DETECTION} {} (thread {:?})", v.info.name, v.info.thread);
                 }
-                idx += 1;
             }
         }
         self.shadow = shadow;
@@ -85,11 +83,9 @@ impl<T: FaultTarget> DwcControls<T> {
         let mut shadow = std::mem::take(&mut self.shadow);
         {
             let vars = self.inner.variables();
-            let mut idx = 0usize;
-            for v in vars.iter().filter(|v| is_protected(&v.info)) {
+            for (idx, v) in vars.iter().filter(|v| is_protected(&v.info)).enumerate() {
                 shadow[idx].bytes.clear();
                 shadow[idx].bytes.extend_from_slice(v.bytes);
-                idx += 1;
             }
         }
         self.shadow = shadow;

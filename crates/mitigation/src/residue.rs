@@ -20,6 +20,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Residue<const M: u64>(u64);
 
+// `add`/`sub`/`mul` intentionally shadow the operator names without the
+// `std::ops` traits: modular arithmetic here is an explicit, checkable act,
+// not something to hide behind `+`.
+#[allow(clippy::should_implement_trait)]
 impl<const M: u64> Residue<M> {
     pub fn of(x: i64) -> Self {
         Residue(x.rem_euclid(M as i64) as u64)
@@ -50,6 +54,7 @@ pub struct ResidueChecked<const M: u64> {
     pub residue: Residue<M>,
 }
 
+#[allow(clippy::should_implement_trait)]
 impl<const M: u64> ResidueChecked<M> {
     pub fn new(value: i64) -> Self {
         ResidueChecked { value, residue: Residue::of(value) }

@@ -1,0 +1,401 @@
+//! Lock-free counters and log₂ latency histograms.
+//!
+//! Registration (first observation of a name) takes a mutex; every later
+//! observation of the same name is wait-free: a linear scan over at most
+//! `len` published slots followed by a relaxed `fetch_add`. The name tables
+//! are append-only — slots are published by a release store of `len` after
+//! the `OnceLock` name is set, so readers that see index `i < len` always
+//! see its name initialized.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::Recorder;
+
+/// Max distinct counter names. Campaign instrumentation uses well under
+/// this; overflowing names are silently dropped (telemetry must never
+/// panic a worker).
+const MAX_COUNTERS: usize = 256;
+
+/// Max distinct span/histogram names.
+const MAX_HISTS: usize = 64;
+
+/// Histogram buckets: bucket `i` counts durations in `[2^(i-1), 2^i)` ns
+/// (bucket 0 is exactly 0 ns). 40 buckets cover up to ~9 minutes, far past
+/// any single trial phase.
+pub const HIST_BUCKETS: usize = 40;
+
+struct Hist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        let idx = bucket_index(ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Bucket for a duration: 0 → 0, otherwise 1 + floor(log₂ ns), clamped.
+fn bucket_index(ns: u64) -> usize {
+    ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive-exclusive upper bound of bucket `i` in nanoseconds.
+fn bucket_upper_ns(idx: usize) -> u64 {
+    if idx == 0 {
+        1
+    } else {
+        1u64 << idx
+    }
+}
+
+/// Append-only name → slot registry shared by the counter and histogram
+/// tables.
+struct SlotTable {
+    names: Vec<OnceLock<&'static str>>,
+    len: AtomicUsize,
+    register: Mutex<()>,
+}
+
+impl SlotTable {
+    fn new(capacity: usize) -> Self {
+        SlotTable {
+            names: (0..capacity).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+            register: Mutex::new(()),
+        }
+    }
+
+    /// Slot for `name`, registering it on first use. `None` when the table
+    /// is full.
+    fn slot(&self, name: &'static str) -> Option<usize> {
+        let published = self.len.load(Ordering::Acquire);
+        if let Some(i) = self.find(name, published) {
+            return Some(i);
+        }
+        let _guard = self.register.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-scan: another thread may have registered `name` between our
+        // fast-path scan and taking the lock.
+        let published = self.len.load(Ordering::Acquire);
+        if let Some(i) = self.find(name, published) {
+            return Some(i);
+        }
+        if published == self.names.len() {
+            return None;
+        }
+        self.names[published].set(name).ok()?;
+        self.len.store(published + 1, Ordering::Release);
+        Some(published)
+    }
+
+    fn find(&self, name: &str, upto: usize) -> Option<usize> {
+        (0..upto).find(|&i| self.names[i].get().copied() == Some(name))
+    }
+
+    fn snapshot(&self) -> Vec<(usize, &'static str)> {
+        let published = self.len.load(Ordering::Acquire);
+        (0..published).filter_map(|i| self.names[i].get().map(|&n| (i, n))).collect()
+    }
+}
+
+/// In-memory metrics recorder: atomic counters plus log₂-bucket latency
+/// histograms, both keyed by `&'static str` names. `Display` renders the
+/// diagnose-style report behind the figure binaries' `--telemetry` flag.
+pub struct CounterRecorder {
+    counter_slots: SlotTable,
+    counter_values: Vec<AtomicU64>,
+    hist_slots: SlotTable,
+    hists: Vec<Hist>,
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+/// Point-in-time contents of one latency histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    /// `(upper_bound_ns, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound (ns) of the bucket containing the q-quantile
+    /// observation. Resolution is one log₂ bucket, which is plenty for
+    /// order-of-magnitude phase profiles.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return upper;
+            }
+        }
+        self.max_ns
+    }
+}
+
+impl CounterRecorder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        CounterRecorder {
+            counter_slots: SlotTable::new(MAX_COUNTERS),
+            counter_values: (0..MAX_COUNTERS).map(|_| AtomicU64::new(0)).collect(),
+            hist_slots: SlotTable::new(MAX_HISTS),
+            hists: (0..MAX_HISTS).map(|_| Hist::new()).collect(),
+        }
+    }
+
+    /// Counters with non-zero registration, sorted by name.
+    pub fn counters(&self) -> Vec<CounterSnapshot> {
+        let mut out: Vec<CounterSnapshot> = self
+            .counter_slots
+            .snapshot()
+            .into_iter()
+            .map(|(i, name)| CounterSnapshot { name, value: self.counter_values[i].load(Ordering::Relaxed) })
+            .collect();
+        out.sort_by_key(|c| c.name);
+        out
+    }
+
+    /// Histograms with at least one registration, sorted by name.
+    pub fn histograms(&self) -> Vec<HistogramSnapshot> {
+        let mut out: Vec<HistogramSnapshot> = self
+            .hist_slots
+            .snapshot()
+            .into_iter()
+            .map(|(i, name)| {
+                let h = &self.hists[i];
+                let buckets = (0..HIST_BUCKETS)
+                    .filter_map(|b| {
+                        let n = h.buckets[b].load(Ordering::Relaxed);
+                        (n > 0).then(|| (bucket_upper_ns(b), n))
+                    })
+                    .collect();
+                HistogramSnapshot {
+                    name,
+                    count: h.count.load(Ordering::Relaxed),
+                    sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                    max_ns: h.max_ns.load(Ordering::Relaxed),
+                    buckets,
+                }
+            })
+            .collect();
+        out.sort_by_key(|h| h.name);
+        out
+    }
+
+    /// Value of one counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters().iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+}
+
+impl Recorder for CounterRecorder {
+    fn incr(&self, counter: &'static str, by: u64) {
+        if let Some(i) = self.counter_slots.slot(counter) {
+            self.counter_values[i].fetch_add(by, Ordering::Relaxed);
+        }
+    }
+
+    fn observe_ns(&self, span: &'static str, ns: u64) {
+        if let Some(i) = self.hist_slots.slot(span) {
+            self.hists[i].record(ns);
+        }
+    }
+
+    fn event(&self, kind: &'static str, _payload_json: &str) {
+        // Metrics mode keeps a volume counter per event kind rather than the
+        // payloads themselves; pair with a JsonlRecorder for full export.
+        if let Some(i) = self.counter_slots.slot(kind) {
+            self.counter_values[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+impl fmt::Display for CounterRecorder {
+    /// Diagnose-style report: counters first, then per-span latency tables
+    /// with a log₂ bucket bar chart.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "telemetry {}", "─".repeat(60))?;
+        let counters = self.counters();
+        if !counters.is_empty() {
+            writeln!(f, "  counters")?;
+            for c in &counters {
+                writeln!(f, "    {:<44} {:>12}", c.name, c.value)?;
+            }
+        }
+        let hists = self.histograms();
+        if !hists.is_empty() {
+            writeln!(
+                f,
+                "  {:<26} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "spans", "count", "mean", "p50", "p99", "max"
+            )?;
+            for h in &hists {
+                writeln!(
+                    f,
+                    "    {:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    fmt_ns(h.mean_ns()),
+                    fmt_ns(h.quantile_ns(0.5)),
+                    fmt_ns(h.quantile_ns(0.99)),
+                    fmt_ns(h.max_ns),
+                )?;
+                let peak = h.buckets.iter().map(|&(_, n)| n).max().unwrap_or(1);
+                for &(upper, n) in &h.buckets {
+                    let bar = "█".repeat(((n * 24).div_ceil(peak)) as usize);
+                    writeln!(f, "      <{:<9} {:<24} {}", fmt_ns(upper), bar, n)?;
+                }
+            }
+        }
+        if counters.is_empty() && hists.is_empty() {
+            writeln!(f, "  (no events recorded)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        // Bucket 0 is exactly zero; each later bucket is [2^(i-1), 2^i).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Upper bounds match: a value lands strictly below its bucket bound.
+        for ns in [0u64, 1, 2, 3, 7, 8, 1000, 123_456_789] {
+            let idx = bucket_index(ns);
+            assert!(ns < bucket_upper_ns(idx), "ns={ns} idx={idx}");
+            if idx > 1 {
+                assert!(ns >= bucket_upper_ns(idx - 1), "ns={ns} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates_are_exact() {
+        let rec = CounterRecorder::new();
+        for ns in [0u64, 1, 5, 5, 1000] {
+            rec.observe_ns("h", ns);
+        }
+        let h = &rec.histograms()[0];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_ns, 1011);
+        assert_eq!(h.max_ns, 1000);
+        assert_eq!(h.mean_ns(), 202);
+        // Buckets: 0ns → b0; 1 → b1; 5,5 → b3; 1000 → b10.
+        assert_eq!(h.buckets, vec![(1, 1), (2, 1), (8, 2), (1024, 1)]);
+        // Quantiles walk the cumulative bucket counts.
+        assert_eq!(h.quantile_ns(0.0), 1);
+        assert_eq!(h.quantile_ns(0.5), 8);
+        assert_eq!(h.quantile_ns(1.0), 1024);
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads_lose_nothing() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let rec = Arc::new(CounterRecorder::new());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    // All threads race on the shared counter AND register
+                    // their own, exercising both slot paths concurrently.
+                    let own: &'static str = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"][t];
+                    for _ in 0..PER_THREAD {
+                        rec.incr("shared", 1);
+                        rec.incr(own, 1);
+                        rec.observe_ns("span", 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter("shared"), THREADS as u64 * PER_THREAD);
+        for t in 0..THREADS {
+            assert_eq!(rec.counter(["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"][t]), PER_THREAD);
+        }
+        assert_eq!(rec.histograms()[0].count, THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn slot_table_overflow_drops_silently() {
+        let table = SlotTable::new(2);
+        // Leak two distinct names to get 'static strs beyond literals.
+        assert_eq!(table.slot("a"), Some(0));
+        assert_eq!(table.slot("b"), Some(1));
+        assert_eq!(table.slot("c"), None);
+        assert_eq!(table.slot("a"), Some(0), "existing names still resolve when full");
+    }
+
+    #[test]
+    fn event_counts_per_kind() {
+        let rec = CounterRecorder::new();
+        rec.event("trial", "{\"x\":1}");
+        rec.event("trial", "{\"x\":2}");
+        assert_eq!(rec.counter("trial"), 2);
+    }
+
+    #[test]
+    fn display_renders_counters_and_spans() {
+        let rec = CounterRecorder::new();
+        rec.incr("outcomes.sdc", 3);
+        rec.observe_ns("trial", 1500);
+        let s = rec.to_string();
+        assert!(s.contains("outcomes.sdc"));
+        assert!(s.contains("trial"));
+        assert!(s.contains("1.5us"));
+    }
+}

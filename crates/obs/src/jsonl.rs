@@ -1,0 +1,173 @@
+//! JSONL event export: one JSON object per line, gapless sequence numbers.
+//!
+//! The sequence number is assigned *inside* the writer lock, so line order
+//! on disk and `seq` order always agree and the set of seqs in a finished
+//! stream is exactly `0..n` — the property the multi-worker campaign test
+//! pins down.
+
+use std::io::{BufWriter, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::Recorder;
+
+struct Inner {
+    out: BufWriter<Box<dyn Write + Send>>,
+    seq: u64,
+}
+
+/// Thread-safe recorder that streams [`Recorder::event`]s as JSON lines:
+///
+/// ```json
+/// {"seq":17,"kind":"trial","data":{...}}
+/// ```
+///
+/// `incr`/`observe_ns` are no-ops — pair with a [`crate::CounterRecorder`]
+/// when both live metrics and the event stream are wanted.
+pub struct JsonlRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl JsonlRecorder {
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        JsonlRecorder { inner: Mutex::new(Inner { out: BufWriter::new(Box::new(out)), seq: 0 }) }
+    }
+
+    /// Number of events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.lock().seq
+    }
+
+    /// Flushes the underlying writer. Also happens on drop.
+    pub fn flush(&self) {
+        let _ = self.lock().out.flush();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn incr(&self, _: &'static str, _: u64) {}
+    fn observe_ns(&self, _: &'static str, _: u64) {}
+
+    fn event(&self, kind: &'static str, payload_json: &str) {
+        let payload = if payload_json.is_empty() { "null" } else { payload_json };
+        let mut inner = self.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        // `kind` is a static identifier (no escaping needed); the payload is
+        // pre-serialized JSON inserted verbatim.
+        let _ = writeln!(inner.out, "{{\"seq\":{seq},\"kind\":\"{kind}\",\"data\":{payload}}}");
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self.inner.get_mut().unwrap_or_else(|e| e.into_inner()).out.flush();
+    }
+}
+
+/// Cloneable in-memory sink for a [`JsonlRecorder`], used by tests and the
+/// figure binaries' buffered export: every clone appends to the same byte
+/// buffer.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the bytes written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(buf: &SharedBuf) -> Vec<String> {
+        String::from_utf8(buf.contents()).unwrap().lines().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn events_become_one_json_line_each() {
+        let buf = SharedBuf::new();
+        let rec = JsonlRecorder::new(buf.clone());
+        rec.event("trial", "{\"outcome\":\"sdc\"}");
+        rec.event("strike", "null");
+        rec.event("empty", "");
+        rec.flush();
+        let got = lines(&buf);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], "{\"seq\":0,\"kind\":\"trial\",\"data\":{\"outcome\":\"sdc\"}}");
+        assert_eq!(got[1], "{\"seq\":1,\"kind\":\"strike\",\"data\":null}");
+        assert_eq!(got[2], "{\"seq\":2,\"kind\":\"empty\",\"data\":null}");
+        assert_eq!(rec.events_written(), 3);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        let buf = SharedBuf::new();
+        {
+            let rec = JsonlRecorder::new(buf.clone());
+            rec.event("e", "1");
+        }
+        assert_eq!(lines(&buf).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_produce_valid_lines_and_gapless_seq() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+        let buf = SharedBuf::new();
+        let rec = std::sync::Arc::new(JsonlRecorder::new(buf.clone()));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let rec = std::sync::Arc::clone(&rec);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let payload = format!("{{\"t\":{t},\"i\":{i}}}");
+                        rec.event("w", &payload);
+                    }
+                });
+            }
+        });
+        rec.flush();
+        let got = lines(&buf);
+        assert_eq!(got.len(), (THREADS * PER_THREAD) as usize);
+        // Every line is standalone-parseable JSON and the seqs are exactly
+        // the permutation 0..n (here even in order, since seq assignment and
+        // the write share one critical section). Parsing the envelope
+        // validates the whole line, payload included.
+        #[derive(serde::Deserialize)]
+        struct Line {
+            seq: u64,
+            kind: String,
+        }
+        let mut seqs = Vec::new();
+        for line in &got {
+            let parsed: Line = serde_json::from_str(line).expect("torn JSONL line");
+            assert_eq!(parsed.kind, "w");
+            seqs.push(parsed.seq);
+        }
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..THREADS * PER_THREAD).collect::<Vec<_>>());
+        assert_eq!(seqs, sorted, "seq order matches line order");
+    }
+}

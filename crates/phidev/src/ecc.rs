@@ -93,7 +93,7 @@ impl SecdedCodec {
                 syndrome |= cpos;
             }
         }
-        let overall = (cw.raw.count_ones() % 2) as u32; // includes parity bit ⇒ should be 0
+        let overall = cw.raw.count_ones() % 2; // includes parity bit ⇒ should be 0
 
         match (syndrome, overall) {
             (0, 0) => DecodeOutcome::Clean(self.extract(cw)),

@@ -34,7 +34,7 @@ fn main() {
     println!("  ECC corrected {} strikes; {} machine-check aborts", campaign.mca.corrected_count(), campaign.mca.uncorrectable_count());
 
     println!("  spatial patterns of the corrupted outputs:");
-    for (pattern, n) in spatial::histogram(campaign.sdc_summaries().into_iter()) {
+    for (pattern, n) in spatial::histogram(campaign.sdc_summaries()) {
         println!("    {:7} {:4}", pattern.label(), n);
     }
 

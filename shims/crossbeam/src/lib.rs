@@ -1,0 +1,132 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`, so that is all this shim provides. Semantics
+//! mirror crossbeam's:
+//!
+//! * `scope` returns `Err(first_panic_payload)` when a spawned thread
+//!   panicked and its handle was dropped unjoined (std would abort the scope
+//!   with a panic instead);
+//! * `join` returns `Err(payload)` for a panicked thread, with the original
+//!   payload preserved so callers can re-raise it (`par_for_each` relies on
+//!   payload identity to tell watchdog timeouts from crash DUEs).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type Payload = Box<dyn Any + Send + 'static>;
+
+    /// Mirror of `crossbeam::thread::Scope`.
+    ///
+    /// The panic-payload pool is an `Arc` rather than a reference because
+    /// `std::thread::scope`'s closure is higher-ranked over `'scope`: a
+    /// borrow of a local can't be handed to every possible `'scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        /// Payloads of panicked threads whose handles were never joined.
+        orphaned: Arc<Mutex<Vec<Payload>>>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Result<T, ()>>,
+        orphaned: Arc<Mutex<Vec<Payload>>>,
+    }
+
+    /// Argument handed to spawned closures. Crossbeam passes `&Scope` for
+    /// nested spawning; every call site in this workspace ignores it (`|_|`),
+    /// so a zero-sized placeholder keeps the shim free of the self-referential
+    /// lifetime juggling nested spawns would need.
+    #[derive(Clone, Copy)]
+    pub struct NestedScope;
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let orphaned = Arc::clone(&self.orphaned);
+            let inner = self.inner.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(NestedScope))) {
+                Ok(v) => Ok(v),
+                Err(payload) => {
+                    orphaned.lock().unwrap_or_else(|p| p.into_inner()).push(payload);
+                    Err(())
+                }
+            });
+            ScopedJoinHandle { inner, orphaned: Arc::clone(&self.orphaned) }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread; a panicked thread yields `Err(payload)`.
+        pub fn join(self) -> Result<T, Payload> {
+            match self.inner.join() {
+                Ok(Ok(v)) => Ok(v),
+                // The closure panicked and parked its payload in `orphaned`;
+                // reclaim one so the caller can re-raise it.
+                _ => {
+                    let mut pool = self.orphaned.lock().unwrap_or_else(|p| p.into_inner());
+                    Err(pool.pop().unwrap_or_else(|| Box::new("thread panicked")))
+                }
+            }
+        }
+    }
+
+    /// Mirror of `crossbeam::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let orphaned: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
+        let result = std::thread::scope(|s| {
+            let scope = Scope { inner: s, orphaned: Arc::clone(&orphaned) };
+            f(&scope)
+        });
+        let mut leftovers = std::mem::take(&mut *orphaned.lock().unwrap_or_else(|p| p.into_inner()));
+        if leftovers.is_empty() {
+            Ok(result)
+        } else {
+            Err(leftovers.remove(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns_closure_value() {
+        let mut acc = vec![0u64; 4];
+        let r = super::thread::scope(|scope| {
+            for (i, slot) in acc.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i as u64 + 1);
+            }
+            7u32
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(acc, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_preserves_panic_payload() {
+        struct Marker;
+        let r = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| {
+                std::panic::panic_any(Marker);
+            });
+            h.join()
+        })
+        .expect("joined panics are not orphaned");
+        assert!(r.unwrap_err().downcast_ref::<Marker>().is_some());
+    }
+
+    #[test]
+    fn unjoined_panic_surfaces_as_scope_error() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("dropped handle"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -31,7 +31,7 @@ fn cubic_patterns_appear_only_for_lavamd() {
     // error pattern."
     for b in Benchmark::BEAM {
         let c = mini_beam(b, 1200, 73);
-        let hist = spatial::histogram(c.sdc_summaries().into_iter());
+        let hist = spatial::histogram(c.sdc_summaries());
         let cubic = hist.get(&SpatialPattern::Cubic).copied().unwrap_or(0);
         if b == Benchmark::Lavamd {
             assert!(cubic > 0, "lavamd should show cubic patterns");

@@ -197,6 +197,107 @@ impl BeamCampaign {
     }
 }
 
+/// Executes one strike of the campaign described by `cfg` and returns its
+/// record plus the MCA event (if any) and the struck resource's label.
+///
+/// `strike` is the strike's campaign-global index, which fully determines
+/// its RNG stream (`carolfi::rng::fork(cfg.seed, strike)`) and therefore the
+/// struck resource, architectural effect and injection time — the property
+/// the sharded/resumable orchestrator relies on to merge partial runs into
+/// an aggregate bit-identical to the single-shot campaign. Benign strikes
+/// (dead state, ECC-corrected) never construct the target.
+pub fn execute_strike<T, F>(
+    benchmark: &str,
+    factory: &F,
+    golden: &Output,
+    cfg: &BeamConfig,
+    total_steps: usize,
+    strike: usize,
+) -> (TrialRecord, Option<McaSeverity>, &'static str)
+where
+    T: FaultTarget,
+    F: Fn() -> T,
+{
+    let mut rng = carolfi::rng::fork(cfg.seed, strike as u64);
+    let (resource, effect) = cfg.engine.strike(&mut rng);
+    let inject_step = rng.gen_range(0..total_steps);
+    let mca_event = match effect {
+        ArchEffect::Corrected => Some(McaSeverity::Corrected),
+        ArchEffect::DetectedUncorrectable => Some(McaSeverity::Uncorrectable),
+        _ => None,
+    };
+
+    // Benign strikes don't need an execution.
+    let (outcome, injection, executed) = if effect.is_benign() {
+        (OutcomeRecord::HardwareMasked, None, 0)
+    } else {
+        let mut applicator = BeamApplicator { effect, resource: resource.label() };
+        let result = run_trial(
+            factory(),
+            golden,
+            &mut applicator,
+            TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
+            &mut rng,
+        );
+        let outcome = match result.outcome {
+            TrialOutcome::Masked => OutcomeRecord::Masked,
+            TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
+            TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
+            TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
+        };
+        (outcome, result.injection, result.executed_steps)
+    };
+
+    let record = TrialRecord {
+        trial: strike,
+        benchmark: benchmark.to_string(),
+        model: None,
+        mechanism: format!("beam:{}:{}", resource.label(), effect.label()),
+        inject_step,
+        total_steps,
+        window: carolfi::campaign::window_of(inject_step, total_steps, cfg.n_windows),
+        n_windows: cfg.n_windows,
+        injection,
+        outcome,
+        executed_steps: executed,
+    };
+    obs::incr(outcome_key(&record.outcome), 1);
+    if obs::enabled() {
+        if let Ok(json) = serde_json::to_string(&record) {
+            obs::event("strike", &json);
+        }
+    }
+    (record, mca_event, resource.label())
+}
+
+/// Rebuilds the [`McaLog`] from journaled strike records: the mechanism
+/// label `beam:<resource>:<effect>` carries exactly what the live campaign
+/// logs (corrected events for `ecc-corrected`, uncorrectable for `ecc-due`).
+pub fn mca_from_records(engine: &StrikeEngine, records: &[TrialRecord]) -> McaLog {
+    let mut mca = McaLog::new();
+    for r in records {
+        let mut parts = r.mechanism.splitn(3, ':');
+        if parts.next() != Some("beam") {
+            continue;
+        }
+        let (Some(resource), Some(effect)) = (parts.next(), parts.next()) else { continue };
+        let severity = match effect {
+            "ecc-corrected" => McaSeverity::Corrected,
+            "ecc-due" => McaSeverity::Uncorrectable,
+            _ => continue,
+        };
+        let kind = engine
+            .inventory
+            .specs()
+            .iter()
+            .find(|s| s.kind.label() == resource)
+            .map(|s| s.kind)
+            .unwrap_or(phidev::resources::ResourceKind::L2Cache);
+        mca.record(severity, kind, r.trial as u64);
+    }
+    mca
+}
+
 /// Runs a beam campaign against targets built by `factory`.
 pub fn run_beam_campaign<T, F>(benchmark: &str, factory: F, golden: &Output, cfg: &BeamConfig) -> BeamCampaign
 where
@@ -226,58 +327,10 @@ where
                     if strike >= cfg.strikes {
                         break;
                     }
-                    let mut rng = carolfi::rng::fork(cfg.seed, strike as u64);
-                    let (resource, effect) = cfg.engine.strike(&mut rng);
-                    let inject_step = rng.gen_range(0..total_steps);
-                    let mca_event = match effect {
-                        ArchEffect::Corrected => Some(McaSeverity::Corrected),
-                        ArchEffect::DetectedUncorrectable => Some(McaSeverity::Uncorrectable),
-                        _ => None,
-                    };
-
-                    // Benign strikes don't need an execution.
                     let t0 = std::time::Instant::now();
-                    let (outcome, injection, executed) = if effect.is_benign() {
-                        (OutcomeRecord::HardwareMasked, None, 0)
-                    } else {
-                        let mut applicator = BeamApplicator { effect, resource: resource.label() };
-                        let result = run_trial(
-                            factory(),
-                            golden,
-                            &mut applicator,
-                            TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
-                            &mut rng,
-                        );
-                        let outcome = match result.outcome {
-                            TrialOutcome::Masked => OutcomeRecord::Masked,
-                            TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
-                            TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
-                            TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
-                        };
-                        (outcome, result.injection, result.executed_steps)
-                    };
+                    let slot = execute_strike(benchmark, &factory, golden, cfg, total_steps, strike);
                     local_busy += t0.elapsed().as_nanos() as u64;
-
-                    let record = TrialRecord {
-                        trial: strike,
-                        benchmark: benchmark.to_string(),
-                        model: None,
-                        mechanism: format!("beam:{}:{}", resource.label(), effect.label()),
-                        inject_step,
-                        total_steps,
-                        window: carolfi::campaign::window_of(inject_step, total_steps, cfg.n_windows),
-                        n_windows: cfg.n_windows,
-                        injection,
-                        outcome,
-                        executed_steps: executed,
-                    };
-                    obs::incr(outcome_key(&record.outcome), 1);
-                    if obs::enabled() {
-                        if let Ok(json) = serde_json::to_string(&record) {
-                            obs::event("strike", &json);
-                        }
-                    }
-                    *slots[strike].lock() = Some((record, mca_event, resource.label()));
+                    *slots[strike].lock() = Some(slot);
                 }
                 busy_ns.fetch_add(local_busy, Ordering::Relaxed);
             });

@@ -1,0 +1,141 @@
+//! Durable, sharded, resumable beam campaigns.
+//!
+//! [`run_beam_campaign_stored`] is the journal-backed counterpart of
+//! [`crate::run_beam_campaign`], built on the same `phi-store` plumbing as
+//! `carolfi::orchestrator`: strikes shard by global index (which pins their
+//! RNG stream, struck resource and architectural effect), every strike
+//! record is journaled before the next one starts, and an interrupted
+//! campaign resumes from its per-shard cursors into an aggregate
+//! bit-identical to the uninterrupted run. The MCA log — a live-campaign
+//! by-product — is rebuilt from the journaled mechanism labels on
+//! completion ([`crate::campaign::mca_from_records`]).
+
+use crate::campaign::{execute_strike, mca_from_records, report_for, BeamCampaign, BeamConfig};
+use carolfi::orchestrator::{drive_shards, open_journal, StoreConfig, StoredRun};
+use carolfi::output::Output;
+use carolfi::target::FaultTarget;
+use std::sync::atomic::AtomicU64;
+use store::{CampaignMeta, ShardPlan};
+
+/// Journal-backed, sharded, resumable version of
+/// [`crate::run_beam_campaign`]. For a fixed `cfg.seed` the completed
+/// aggregate is bit-identical to the single-shot run, for any shard count,
+/// worker count or interruption pattern.
+pub fn run_beam_campaign_stored<T, F>(
+    benchmark: &str,
+    factory: F,
+    golden: &Output,
+    cfg: &BeamConfig,
+    store_cfg: &StoreConfig,
+) -> std::io::Result<StoredRun<BeamCampaign>>
+where
+    T: FaultTarget,
+    F: Fn() -> T + Sync,
+{
+    let _quiet = carolfi::panic_guard::silence_panics();
+    let total_steps = factory().total_steps().max(1);
+    let wall = std::time::Instant::now();
+    let busy_ns = AtomicU64::new(0);
+
+    let meta = CampaignMeta {
+        kind: "beam".into(),
+        benchmark: benchmark.into(),
+        seed: cfg.seed,
+        trials: cfg.strikes,
+        shards: store_cfg.shards,
+        n_windows: cfg.n_windows,
+        version: store::journal::FORMAT_VERSION,
+    };
+    let (writer, progress, prior) = open_journal(store_cfg, meta)?;
+    let plan = ShardPlan::new(cfg.strikes, store_cfg.shards);
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+
+    let run = drive_shards(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, |strike| {
+        execute_strike(benchmark, &factory, golden, cfg, total_steps, strike).0
+    })?;
+    Ok(match run {
+        StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
+        StoredRun::Complete(records) => {
+            let mca = mca_from_records(&cfg.engine, &records);
+            let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
+            StoredRun::Complete(BeamCampaign {
+                benchmark: benchmark.to_string(),
+                records,
+                mca,
+                sigma_raw: cfg.sigma_raw,
+                environment: cfg.environment,
+                report,
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_beam_campaign;
+    use kernels::{build, golden, Benchmark, SizeClass};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-beam-orchestrator").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sharded_beam_campaign_matches_single_shot_including_mca() {
+        let b = Benchmark::Dgemm;
+        let g = golden(b, SizeClass::Test);
+        let cfg = BeamConfig { strikes: 240, seed: 11, n_windows: b.n_windows(), ..Default::default() };
+        let single = run_beam_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+
+        let mut sc = StoreConfig::new(tmp("shards-5"));
+        sc.shards = 5;
+        let stored = run_beam_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc)
+            .unwrap()
+            .expect_complete();
+        assert_eq!(single.records.len(), stored.records.len());
+        for (x, y) in single.records.iter().zip(&stored.records) {
+            assert_eq!(x.trial, y.trial);
+            assert_eq!(x.mechanism, y.mechanism);
+            assert_eq!(x.outcome, y.outcome);
+        }
+        assert_eq!(single.mca.events(), stored.mca.events(), "MCA log must survive the journal round-trip");
+        assert_eq!(single.report.outcomes, stored.report.outcomes);
+    }
+
+    #[test]
+    fn interrupted_beam_campaign_resumes_bit_identically() {
+        let b = Benchmark::Nw;
+        let g = golden(b, SizeClass::Test);
+        let cfg = BeamConfig { strikes: 150, seed: 3, n_windows: b.n_windows(), ..Default::default() };
+        let uninterrupted = run_beam_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+
+        let mut sc = StoreConfig::new(tmp("interrupt"));
+        sc.shards = 3;
+        sc.checkpoint_every = 10;
+        sc.budget = Some(40);
+        let mut rounds = 0;
+        let stored = loop {
+            rounds += 1;
+            assert!(rounds < 30, "campaign never completed");
+            match run_beam_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc).unwrap() {
+                StoredRun::Complete(c) => break c,
+                StoredRun::Paused { .. } => sc.resume = true,
+            }
+        };
+        assert!(rounds > 1, "budget of 40/150 should pause at least once");
+        assert_eq!(uninterrupted.records.len(), stored.records.len());
+        for (x, y) in uninterrupted.records.iter().zip(&stored.records) {
+            assert_eq!(x.mechanism, y.mechanism);
+            assert_eq!(x.inject_step, y.inject_step);
+            assert_eq!(x.outcome, y.outcome);
+        }
+        assert_eq!(uninterrupted.mca.events(), stored.mca.events());
+    }
+}

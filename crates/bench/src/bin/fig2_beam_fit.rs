@@ -5,7 +5,7 @@
 //! patterns (cubic / square / line / single / random), plus the §4.2
 //! machine-scale extrapolations (Trinity and 10× exascale).
 
-use bench::{beam_records, rule, RunConfig};
+use bench::{beam_records_stored, rule, RunConfig, StoreArgs};
 use kernels::Benchmark;
 use sdc_analysis::fit::MachineProjection;
 use sdc_analysis::spatial::{self, SpatialPattern};
@@ -13,6 +13,7 @@ use sdc_analysis::spatial::{self, SpatialPattern};
 fn main() {
     let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
+    let store = StoreArgs::from_args();
     println!("Figure 2 reproduction — SDC/DUE FIT and spatial distribution (sea level)");
     println!("strikes/benchmark = {}, size = {:?}, seed = {}\n", cfg.strikes, cfg.size, cfg.seed);
     println!(
@@ -28,7 +29,7 @@ fn main() {
 
     let mut reports = Vec::new();
     for b in Benchmark::BEAM {
-        let c = beam_records(b, &cfg);
+        let c = beam_records_stored(b, &cfg, &store);
         if telemetry.is_some() {
             reports.push(c.report.clone());
         }

@@ -3,20 +3,25 @@
 //! Regenerates the Masked / SDC / DUE percentage per benchmark over the
 //! CAROL-FI injection campaign (≥10,000 faults per benchmark at paper
 //! scale; the default harness size uses PHI_TRIALS injections).
+//!
+//! With `--store <dir>` the campaigns run sharded against a durable
+//! journal and can be interrupted and resumed (`--resume`); see
+//! README "Resumable campaigns".
 
-use bench::{injection_records, rule, RunConfig};
+use bench::{injection_records_stored, rule, RunConfig, StoreArgs};
 use kernels::Benchmark;
 use sdc_analysis::pvf::OutcomeBreakdown;
 use sdc_analysis::stats::normal_margin95;
 
 fn main() {
     let cfg = RunConfig::from_env();
+    let store = StoreArgs::from_args();
     println!("Figure 4 reproduction — outcomes of fault injections");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
     println!("{:9} {:>9} {:>9} {:>9} {:>12}", "bench", "masked%", "SDC%", "DUE%", "±95% (worst)");
     rule(54);
     for b in Benchmark::ALL {
-        let records = injection_records(b, &cfg);
+        let records = injection_records_stored(b, &cfg, &store);
         let bd = OutcomeBreakdown::of(&records);
         let margin = normal_margin95(0.5, bd.trials) * 100.0;
         println!("{:9} {:9.1} {:9.1} {:9.1} {:11.2}%", b.label(), bd.masked_pct(), bd.sdc_pct(), bd.due_pct(), margin);

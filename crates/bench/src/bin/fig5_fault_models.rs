@@ -4,12 +4,13 @@
 //! Per benchmark and per fault model (Single, Double, Random, Zero), the SDC
 //! and DUE Program Vulnerability Factors of the injection campaign.
 
-use bench::{injection_records, rule, RunConfig};
+use bench::{injection_records_stored, rule, RunConfig, StoreArgs};
 use carolfi::models::FaultModel;
+use carolfi::record::TrialRecord;
 use kernels::Benchmark;
 use sdc_analysis::pvf::{by_model, PvfKind};
 
-fn print_table(kind: PvfKind, cfg: &RunConfig) {
+fn print_table(kind: PvfKind, corpus: &[(Benchmark, Vec<TrialRecord>)]) {
     let title = match kind {
         PvfKind::Sdc => "Figure 5a — SDC PVF per fault model [%]",
         PvfKind::Due => "Figure 5b — DUE PVF per fault model [%]",
@@ -21,9 +22,8 @@ fn print_table(kind: PvfKind, cfg: &RunConfig) {
     }
     println!();
     rule(9 + 9 * 4);
-    for b in Benchmark::ALL {
-        let records = injection_records(b, cfg);
-        let table = by_model(&records, kind);
+    for (b, records) in corpus {
+        let table = by_model(records, kind);
         print!("{:9}", b.label());
         for m in FaultModel::ALL {
             let pct = table.get(m).map(|p| p.percent()).unwrap_or(0.0);
@@ -38,21 +38,25 @@ fn print_table(kind: PvfKind, cfg: &RunConfig) {
 fn main() {
     let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
+    let store = StoreArgs::from_args();
     println!("Figures 5a/5b reproduction — fault-model PVFs");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
-    print_table(PvfKind::Sdc, &cfg);
-    print_table(PvfKind::Due, &cfg);
+    // One campaign per benchmark, shared by both tables and the telemetry
+    // footer (a journal-backed campaign can only be opened once per run).
+    let corpus: Vec<(Benchmark, Vec<TrialRecord>)> =
+        Benchmark::ALL.into_iter().map(|b| (b, injection_records_stored(b, &cfg, &store))).collect();
+    print_table(PvfKind::Sdc, &corpus);
+    print_table(PvfKind::Due, &corpus);
     println!("Paper shape targets: Zero model yields the lowest DUE everywhere (zeroed values are");
     println!("valid pointers/indices); DGEMM & LUD (algebraic class) show similar model profiles;");
     println!("NW: Zero ⇒ (almost) no SDCs, Single the highest SDC, Double/Random the highest DUE.");
 
     if telemetry.is_some() {
         println!();
-        for b in Benchmark::ALL {
+        for (b, records) in &corpus {
             // Cached records carry no timing; the report still gives the
             // per-model outcome counts behind the PVF tables.
-            let records = injection_records(b, &cfg);
-            print!("{}", carolfi::campaign::report_for(b.label(), &records, 0, 0, 0));
+            print!("{}", carolfi::campaign::report_for(b.label(), records, 0, 0, 0));
         }
     }
     bench::print_telemetry(telemetry);

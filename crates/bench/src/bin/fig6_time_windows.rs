@@ -5,14 +5,15 @@
 //! windows; DGEMM & HotSpot: 5; LUD & NW: 4 — paper §6). As the paper notes,
 //! these are per-window PVFs, not contributions, so rows can sum past 100%.
 
-use bench::{injection_records, rule, RunConfig};
+use bench::{injection_records_stored, rule, RunConfig, StoreArgs};
+use carolfi::record::TrialRecord;
 use kernels::Benchmark;
 use sdc_analysis::pvf::{by_window, PvfKind};
 
 /// The benchmarks shown in the paper's Fig. 6 (LavaMD is not plotted).
 const FIG6: [Benchmark; 5] = [Benchmark::Clamr, Benchmark::Dgemm, Benchmark::Hotspot, Benchmark::Lud, Benchmark::Nw];
 
-fn print_table(kind: PvfKind, cfg: &RunConfig) {
+fn print_table(kind: PvfKind, corpus: &[(Benchmark, Vec<TrialRecord>)]) {
     let title = match kind {
         PvfKind::Sdc => "Figure 6a — SDC PVF per execution-time window [%]",
         PvfKind::Due => "Figure 6b — DUE PVF per execution-time window [%]",
@@ -20,9 +21,8 @@ fn print_table(kind: PvfKind, cfg: &RunConfig) {
     println!("{title}");
     println!("{:9} w1 .. wN", "bench");
     rule(88);
-    for b in FIG6 {
-        let records = injection_records(b, cfg);
-        let table = by_window(&records, kind);
+    for (b, records) in corpus {
+        let table = by_window(records, kind);
         let cells: Vec<String> = (0..b.n_windows())
             .map(|w| table.get(w).map(|p| format!("{:5.1}", p.percent())).unwrap_or_else(|| "    -".into()))
             .collect();
@@ -34,10 +34,15 @@ fn print_table(kind: PvfKind, cfg: &RunConfig) {
 
 fn main() {
     let cfg = RunConfig::from_env();
+    let store = StoreArgs::from_args();
     println!("Figures 6a/6b reproduction — time-window PVFs");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
-    print_table(PvfKind::Sdc, &cfg);
-    print_table(PvfKind::Due, &cfg);
+    // One campaign per benchmark, shared by both tables (a journal-backed
+    // campaign can only be opened once per run).
+    let corpus: Vec<(Benchmark, Vec<TrialRecord>)> =
+        FIG6.into_iter().map(|b| (b, injection_records_stored(b, &cfg, &store))).collect();
+    print_table(PvfKind::Sdc, &corpus);
+    print_table(PvfKind::Due, &corpus);
     println!("Paper shape targets: DGEMM SDC flat across windows with DUE lower at the start;");
     println!("CLAMR most sensitive around window 3 (active-cell maximum); LUD most critical");
     println!("mid-run; NW DUE lower in the first window while the wavefront is still small.");

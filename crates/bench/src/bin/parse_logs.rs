@@ -2,21 +2,32 @@
 //! (appendix A.5: "The parser scripts are located in the parser-scripts
 //! folder … how to execute and how to interpret the results produced").
 //!
-//! Reads one or more JSON-lines campaign logs (as written by the campaign
-//! runners and cached under `target/campaign_cache/`) and prints the
-//! aggregate analyses: outcome breakdown, fault-model and window PVFs,
-//! per-class rates and, for SDC records, the spatial-pattern histogram and
-//! the tolerance curve.
+//! Reads one or more campaign logs and prints the aggregate analyses:
+//! outcome breakdown, fault-model and window PVFs, per-class rates and,
+//! for SDC records, the spatial-pattern histogram and the tolerance curve.
+//!
+//! Three input shapes are understood:
+//! * **plain JSONL record logs** — one `TrialRecord` per line, as cached
+//!   under `target/campaign_cache/`;
+//! * **phi-obs event streams** — `{"seq":..,"kind":..,"data":{..}}`
+//!   envelopes from `obs::JsonlRecorder`; `trial`/`strike` events carry a
+//!   full record, other kinds are counted and skipped;
+//! * **phi-store journal directories** (a `--store` campaign sub-dir):
+//!   records are recovered from the checksummed segments and the per-shard
+//!   completion status is printed.
 //!
 //! ```text
 //! cargo run --release -p bench --bin parse_logs -- target/campaign_cache/*.jsonl
+//! cargo run --release -p bench --bin parse_logs -- /tmp/phi-store/inject-nw
 //! ```
 
-use carolfi::record::{read_log, OutcomeRecord, TrialRecord};
+use carolfi::record::{OutcomeRecord, TrialRecord};
 use sdc_analysis::pvf::{by_class, by_model, by_window, OutcomeBreakdown, PvfKind};
 use sdc_analysis::spatial;
 use sdc_analysis::tolerance::{paper_tolerances, ToleranceCurve};
 use std::collections::BTreeMap;
+use std::path::Path;
+use store::{Journal, JournalEntry, ShardPlan, ShardProgress};
 
 fn analyse(benchmark: &str, records: &[TrialRecord]) {
     println!("== {benchmark}: {} records", records.len());
@@ -66,23 +77,126 @@ fn analyse(benchmark: &str, records: &[TrialRecord]) {
     println!();
 }
 
+/// One line of a `obs::JsonlRecorder` export. `trial` and `strike` events
+/// carry a full [`TrialRecord`] as their payload.
+#[derive(serde::Deserialize)]
+struct ObsEnvelope {
+    #[allow(dead_code)]
+    seq: u64,
+    kind: String,
+    data: TrialRecord,
+}
+
+/// Loads a flat JSONL file, accepting both plain record lines and phi-obs
+/// event envelopes; unrecognised lines are counted, not fatal.
+fn load_file(path: &str) -> Vec<TrialRecord> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return Vec::new();
+        }
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Ok(r) = serde_json::from_str::<TrialRecord>(line) {
+            records.push(r);
+        } else if let Ok(env) = serde_json::from_str::<ObsEnvelope>(line) {
+            if env.kind == "trial" || env.kind == "strike" {
+                records.push(env.data);
+            } else {
+                skipped += 1;
+            }
+        } else {
+            skipped += 1;
+        }
+    }
+    if skipped > 0 {
+        eprintln!("{path}: skipped {skipped} non-record line(s)");
+    }
+    records
+}
+
+/// Loads a phi-store journal directory, printing the campaign header and
+/// per-shard completion status before handing the records to the analyses.
+fn load_journal(dir: &Path) -> Vec<TrialRecord> {
+    let scan = match Journal::scan(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", dir.display());
+            return Vec::new();
+        }
+    };
+    let Some(meta) = scan.meta else {
+        eprintln!("{}: journal holds no campaign metadata", dir.display());
+        return Vec::new();
+    };
+    let progress = match ShardProgress::replay(meta.shards, &scan.entries) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", dir.display());
+            return Vec::new();
+        }
+    };
+    println!(
+        "journal {} — {} campaign on {}, seed {}, {} trials over {} shards, {} segment(s)",
+        dir.display(),
+        meta.kind,
+        meta.benchmark,
+        meta.seed,
+        meta.trials,
+        meta.shards,
+        scan.segments.len()
+    );
+    if scan.torn_bytes > 0 {
+        println!("   recovered: dropped {}-byte torn tail from the newest segment", scan.torn_bytes);
+    }
+    let plan = ShardPlan::new(meta.trials, meta.shards);
+    for (shard, state) in progress.shards.iter().enumerate() {
+        let range = plan.range(shard);
+        let status = if state.done {
+            "done".to_string()
+        } else {
+            format!("{}/{} in progress", state.completed, range.len())
+        };
+        println!("   shard {shard}: trials {}..{} — {status}", range.start, range.end);
+    }
+    let total = progress.completed();
+    println!(
+        "   {} of {} trials journaled{}",
+        total,
+        meta.trials,
+        if progress.all_done() { ", campaign complete" } else { " (resumable with --resume)" }
+    );
+    println!();
+
+    let mut records = Vec::new();
+    for entry in &scan.entries {
+        if let JournalEntry::Trial { payload, .. } = entry {
+            match serde_json::from_str::<TrialRecord>(payload) {
+                Ok(r) => records.push(r),
+                Err(e) => eprintln!("{}: undecodable trial payload: {e}", dir.display()),
+            }
+        }
+    }
+    records.sort_by_key(|r| r.trial);
+    records
+}
+
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: parse_logs <log.jsonl> [more.jsonl ...]");
-        eprintln!("logs are produced by the campaign runners and cached under target/campaign_cache/");
+        eprintln!("usage: parse_logs <log.jsonl | journal-dir> [more ...]");
+        eprintln!("logs are produced by the campaign runners and cached under target/campaign_cache/;");
+        eprintln!("journal directories are the per-campaign sub-directories of a --store root");
         std::process::exit(2);
     }
     let mut per_benchmark: BTreeMap<String, Vec<TrialRecord>> = BTreeMap::new();
     for path in &paths {
-        match std::fs::File::open(path).map(std::io::BufReader::new).map(read_log) {
-            Ok(Ok(records)) => {
-                for r in records {
-                    per_benchmark.entry(r.benchmark.clone()).or_default().push(r);
-                }
-            }
-            Ok(Err(e)) => eprintln!("{path}: parse error: {e}"),
-            Err(e) => eprintln!("{path}: {e}"),
+        let records = if Path::new(path).is_dir() { load_journal(Path::new(path)) } else { load_file(path) };
+        for r in records {
+            per_benchmark.entry(r.benchmark.clone()).or_default().push(r);
         }
     }
     for (benchmark, records) in &per_benchmark {

@@ -149,6 +149,63 @@ pub fn window_of(step: usize, total_steps: usize, n_windows: usize) -> usize {
     ((step * n_windows) / total_steps).min(n_windows - 1)
 }
 
+/// Executes one trial of the campaign described by `cfg` and returns its
+/// record.
+///
+/// `trial` is the trial's campaign-global index, which fully determines its
+/// RNG stream (`rng::fork(cfg.seed, trial)`), its fault model
+/// (`trial % models.len()`) and its injection time — the property the
+/// sharded/resumable orchestrator relies on to merge partial runs into an
+/// aggregate bit-identical to the single-shot campaign.
+pub fn execute_trial<T: FaultTarget>(
+    benchmark: &str,
+    target: T,
+    golden: &Output,
+    cfg: &CampaignConfig,
+    total_steps: usize,
+    trial: usize,
+) -> TrialRecord {
+    let mut rng = crate::rng::fork(cfg.seed, trial as u64);
+    let model = cfg.models[trial % cfg.models.len()];
+    let inject_step = rng.gen_range(0..total_steps);
+    let mut applicator = CarolFiApplicator { model, selector: cfg.selector.clone() };
+    let result = run_trial(
+        target,
+        golden,
+        &mut applicator,
+        TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
+        &mut rng,
+    );
+    let outcome = match result.outcome {
+        TrialOutcome::Masked => OutcomeRecord::Masked,
+        TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
+        TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
+        TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
+    };
+    let record = TrialRecord {
+        trial,
+        benchmark: benchmark.to_string(),
+        model: Some(model),
+        mechanism: model.label().to_string(),
+        inject_step,
+        total_steps,
+        window: window_of(inject_step, total_steps, cfg.n_windows),
+        n_windows: cfg.n_windows,
+        injection: result.injection,
+        outcome,
+        executed_steps: result.executed_steps,
+    };
+    obs::incr(outcome_key(model, &record.outcome), 1);
+    // Serializing the record is only worth it when someone is listening;
+    // `enabled()` guards the allocation.
+    if obs::enabled() {
+        if let Ok(json) = serde_json::to_string(&record) {
+            obs::event("trial", &json);
+        }
+    }
+    record
+}
+
 /// Runs an injection campaign against targets built by `factory`.
 ///
 /// `golden` must be the output of a fault-free run of `factory()`.
@@ -184,46 +241,9 @@ where
                     if trial >= cfg.trials {
                         break;
                     }
-                    let mut rng = crate::rng::fork(cfg.seed, trial as u64);
-                    let model = cfg.models[trial % cfg.models.len()];
-                    let inject_step = rng.gen_range(0..total_steps);
-                    let mut applicator = CarolFiApplicator { model, selector: cfg.selector.clone() };
                     let t0 = std::time::Instant::now();
-                    let result = run_trial(
-                        factory(),
-                        golden,
-                        &mut applicator,
-                        TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
-                        &mut rng,
-                    );
+                    let record = execute_trial(benchmark, factory(), golden, cfg, total_steps, trial);
                     local_busy += t0.elapsed().as_nanos() as u64;
-                    let outcome = match result.outcome {
-                        TrialOutcome::Masked => OutcomeRecord::Masked,
-                        TrialOutcome::HardwareMasked => OutcomeRecord::HardwareMasked,
-                        TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
-                        TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
-                    };
-                    let record = TrialRecord {
-                        trial,
-                        benchmark: benchmark.to_string(),
-                        model: Some(model),
-                        mechanism: model.label().to_string(),
-                        inject_step,
-                        total_steps,
-                        window: window_of(inject_step, total_steps, cfg.n_windows),
-                        n_windows: cfg.n_windows,
-                        injection: result.injection,
-                        outcome,
-                        executed_steps: result.executed_steps,
-                    };
-                    obs::incr(outcome_key(model, &record.outcome), 1);
-                    // Serializing the record is only worth it when someone
-                    // is listening; `enabled()` guards the allocation.
-                    if obs::enabled() {
-                        if let Ok(json) = serde_json::to_string(&record) {
-                            obs::event("trial", &json);
-                        }
-                    }
                     *records[trial].lock() = Some(record);
                 }
                 busy_ns.fetch_add(local_busy, Ordering::Relaxed);

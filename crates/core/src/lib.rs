@@ -27,6 +27,9 @@
 //!   parallel, deterministically per seed, and produces serialisable
 //!   [`record::TrialRecord`] logs comparable to the paper's public log
 //!   repository.
+//! * The [`orchestrator`] module is the durable form of the same campaign:
+//!   trials shard deterministically over a `phi-store` journal so campaigns
+//!   survive crashes and resume across invocations bit-identically.
 //!
 //! The injector is deliberately generic over the fault *applicator*
 //! ([`FaultApplicator`]), so the beam-experiment simulator (`beamsim` crate)
@@ -37,6 +40,7 @@ pub mod bytesview;
 pub mod campaign;
 pub mod fuel;
 pub mod models;
+pub mod orchestrator;
 pub mod output;
 pub mod panic_guard;
 pub mod record;
@@ -46,6 +50,7 @@ pub mod supervisor;
 pub mod target;
 
 pub use campaign::{run_campaign, Campaign, CampaignConfig};
+pub use orchestrator::{run_campaign_stored, StoreConfig, StoredRun};
 pub use fuel::Fuel;
 pub use models::{FaultApplicator, FaultModel, InjectionDetail};
 pub use output::{Mismatch, Output};

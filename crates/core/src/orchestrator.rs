@@ -1,0 +1,465 @@
+//! Durable, sharded, resumable injection campaigns.
+//!
+//! [`run_campaign_stored`] is the journal-backed counterpart of
+//! [`crate::run_campaign`]: the campaign's trial range splits into
+//! contiguous shards (`store::ShardPlan`), a work-queue scheduler fans the
+//! shards out to worker threads, and every completed trial is appended to a
+//! checksummed journal (`store::JournalWriter`) before the next one starts.
+//! A crash, OOM or kill loses at most the in-flight record; re-running with
+//! `resume = true` scans the journal, skips completed shards, continues
+//! partial shards from their cursors, and — because a trial's global index
+//! fully determines its RNG stream, fault model and injection time — the
+//! merged aggregate is bit-identical to an uninterrupted single-shot run,
+//! with no trial re-executed or double-counted (the journal's per-shard
+//! sequence numbers are validated gapless on every open).
+
+use crate::campaign::{execute_trial, report_for, Campaign, CampaignConfig};
+use crate::output::Output;
+use crate::record::TrialRecord;
+use crate::target::FaultTarget;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use store::{CampaignMeta, Journal, JournalEntry, JournalWriter, ShardCursor, ShardPlan, ShardProgress, StopFlag};
+
+/// Durability/orchestration knobs, shared by the injection and beam stored
+/// campaign runners.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Journal directory for this campaign.
+    pub dir: PathBuf,
+    /// Shard count recorded in the journal; a resumed run must use the same
+    /// value (checked against the journal meta).
+    pub shards: usize,
+    /// Continue an existing journal instead of demanding a fresh directory.
+    pub resume: bool,
+    /// Trials between durable checkpoints (cursor entry + fsync) per shard.
+    pub checkpoint_every: u64,
+    /// Maximum trials to execute in this invocation; when the budget runs
+    /// out the campaign checkpoints and returns [`StoredRun::Paused`].
+    /// `None` = run to completion.
+    pub budget: Option<usize>,
+}
+
+impl StoreConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig { dir: dir.into(), shards: 8, resume: false, checkpoint_every: 64, budget: None }
+    }
+}
+
+/// Outcome of a stored campaign invocation.
+#[derive(Debug)]
+pub enum StoredRun<C> {
+    /// Every shard finished; the aggregate is bit-identical to the
+    /// single-shot run with the same seed.
+    Complete(C),
+    /// The trial budget ran out (or a stop was requested) mid-campaign; the
+    /// journal holds `completed` of `total` trials and a later `resume`
+    /// invocation will continue from the shard cursors.
+    Paused { completed: u64, total: usize },
+}
+
+impl<C> StoredRun<C> {
+    /// Unwraps `Complete`, panicking on `Paused` (test helper).
+    pub fn expect_complete(self) -> C {
+        match self {
+            StoredRun::Complete(c) => c,
+            StoredRun::Paused { completed, total } => {
+                panic!("campaign paused at {completed}/{total} trials; expected completion")
+            }
+        }
+    }
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Opens (or creates) the journal for `meta`, replays shard progress and
+/// parses the surviving trial payloads. Orchestration plumbing shared with
+/// `beamsim`'s stored campaign runner.
+pub fn open_journal(
+    store_cfg: &StoreConfig,
+    meta: CampaignMeta,
+) -> std::io::Result<(JournalWriter, ShardProgress, Vec<Vec<TrialRecord>>)> {
+    let dir = &store_cfg.dir;
+    let (writer, entries) = if Journal::exists(dir) {
+        if !store_cfg.resume {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("journal already exists at {} (pass --resume to continue it)", dir.display()),
+            ));
+        }
+        let (writer, scan) = JournalWriter::resume(dir)?;
+        match &scan.meta {
+            Some(m) if *m == meta => {}
+            Some(m) => {
+                return Err(invalid(format!(
+                    "journal at {} belongs to a different campaign (journal: {m:?}, requested: {meta:?})",
+                    dir.display()
+                )))
+            }
+            None => return Err(invalid(format!("journal at {} has no meta entry", dir.display()))),
+        }
+        (writer, scan.entries)
+    } else {
+        (JournalWriter::create(dir, meta.clone())?, Vec::new())
+    };
+    let progress = ShardProgress::replay(meta.shards, &entries)?;
+    let plan = ShardPlan::new(meta.trials, meta.shards);
+    let mut prior: Vec<Vec<TrialRecord>> = Vec::with_capacity(meta.shards);
+    for (shard, state) in progress.shards.iter().enumerate() {
+        let range = plan.range(shard);
+        if state.completed as usize > range.len() {
+            return Err(invalid(format!("shard {shard}: journal has {} trials, plan allows {}", state.completed, range.len())));
+        }
+        let mut records = Vec::with_capacity(state.payloads.len());
+        for (seq, payload) in state.payloads.iter().enumerate() {
+            let record: TrialRecord = serde_json::from_str(payload)
+                .map_err(|e| invalid(format!("shard {shard} seq {seq}: bad trial payload: {e}")))?;
+            if record.trial != range.start + seq {
+                return Err(invalid(format!(
+                    "shard {shard} seq {seq}: payload carries trial {}, expected {}",
+                    record.trial,
+                    range.start + seq
+                )));
+            }
+            records.push(record);
+        }
+        prior.push(records);
+    }
+    Ok((writer, progress, prior))
+}
+
+/// Drives the shard queue for a stored campaign: pulls shard tasks, executes
+/// trials via `run_one`, journals each record, checkpoints periodically and
+/// on stop. Returns the per-shard record vectors (prior + new) or the first
+/// I/O error any worker hit.
+///
+/// `run_one(global_trial_index) -> TrialRecord` must be pure in the trial
+/// index (this is what the determinism invariant rests on). Orchestration
+/// plumbing shared with `beamsim`'s stored campaign runner.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_shards(
+    plan: ShardPlan,
+    progress: &ShardProgress,
+    mut prior: Vec<Vec<TrialRecord>>,
+    writer: JournalWriter,
+    store_cfg: &StoreConfig,
+    workers: usize,
+    busy_ns: &AtomicU64,
+    run_one: impl Fn(usize) -> TrialRecord + Sync,
+) -> std::io::Result<StoredRun<Vec<TrialRecord>>> {
+    let stop = StopFlag::new();
+    let spent = AtomicUsize::new(0);
+    let journal = parking_lot::Mutex::new(writer);
+    let io_error: parking_lot::Mutex<Option<std::io::Error>> = parking_lot::Mutex::new(None);
+    let new_records: Vec<parking_lot::Mutex<Vec<TrialRecord>>> = (0..plan.shards).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+
+    let tasks: Vec<usize> = (0..plan.shards)
+        .filter(|&s| !progress.shards[s].done && (progress.shards[s].completed as usize) < plan.range(s).len())
+        .collect();
+
+    let fail = |e: std::io::Error| {
+        let mut slot = io_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        stop.request_stop();
+    };
+
+    store::run_tasks(tasks, workers, &stop, |shard, stop| {
+        let range = plan.range(shard);
+        let start = progress.shards[shard].completed as usize;
+        obs::incr(if start == 0 { "shard/started" } else { "shard/resumed" }, 1);
+        let checkpoint = |completed: usize, sync: bool| -> std::io::Result<()> {
+            let cursor = ShardCursor {
+                shard,
+                completed: completed as u64,
+                next_stream: (range.start + completed) as u64,
+            };
+            let mut j = journal.lock();
+            j.append(&JournalEntry::Checkpoint(cursor))?;
+            if sync {
+                j.sync()?;
+            }
+            Ok(())
+        };
+        let mut completed = start;
+        for (seq, trial) in range.clone().enumerate().skip(start) {
+            let out_of_budget = store_cfg.budget.is_some_and(|b| spent.fetch_add(1, Ordering::SeqCst) >= b);
+            if stop.should_stop() || out_of_budget {
+                stop.request_stop();
+                if completed > start {
+                    if let Err(e) = checkpoint(completed, true) {
+                        fail(e);
+                    }
+                }
+                return;
+            }
+            let t0 = std::time::Instant::now();
+            let record = run_one(trial);
+            busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let payload = match serde_json::to_string(&record) {
+                Ok(p) => p,
+                Err(e) => {
+                    fail(std::io::Error::other(format!("trial {trial}: serialize failed: {e}")));
+                    return;
+                }
+            };
+            obs::incr("store/trials", 1);
+            if let Err(e) = journal.lock().append(&JournalEntry::Trial { shard, seq: seq as u64, payload }) {
+                fail(e);
+                return;
+            }
+            new_records[shard].lock().push(record);
+            completed += 1;
+            if ((completed - start) as u64).is_multiple_of(store_cfg.checkpoint_every) {
+                if let Err(e) = checkpoint(completed, true) {
+                    fail(e);
+                    return;
+                }
+            }
+        }
+        // Shard range exhausted: seal it.
+        let seal = (|| -> std::io::Result<()> {
+            checkpoint(completed, false)?;
+            let mut j = journal.lock();
+            j.append(&JournalEntry::ShardDone { shard })?;
+            j.sync()
+        })();
+        match seal {
+            Ok(()) => obs::incr("shard/completed", 1),
+            Err(e) => fail(e),
+        }
+    });
+
+    if let Some(e) = io_error.lock().take() {
+        return Err(e);
+    }
+
+    // Merge prior + new per shard; any shard short of its range means the
+    // run was paused (budget/stop) rather than finished.
+    let mut total_completed = 0u64;
+    let mut complete = true;
+    for (shard, fresh) in new_records.into_iter().enumerate() {
+        let fresh = fresh.into_inner();
+        prior[shard].extend(fresh);
+        total_completed += prior[shard].len() as u64;
+        if prior[shard].len() < plan.range(shard).len() {
+            complete = false;
+        }
+    }
+    if !complete {
+        return Ok(StoredRun::Paused { completed: total_completed, total: plan.trials });
+    }
+    let mut records: Vec<TrialRecord> = prior.into_iter().flatten().collect();
+    records.sort_by_key(|r| r.trial);
+    for (i, r) in records.iter().enumerate() {
+        if r.trial != i {
+            return Err(invalid(format!("aggregate is not gapless: position {i} holds trial {}", r.trial)));
+        }
+    }
+    Ok(StoredRun::Complete(records))
+}
+
+/// Journal-backed, sharded, resumable version of [`crate::run_campaign`].
+///
+/// For a fixed `cfg.seed`, the completed aggregate is bit-identical to
+/// `run_campaign` with the same config, for any shard count, worker count,
+/// interruption pattern or number of resume invocations.
+pub fn run_campaign_stored<T, F>(
+    benchmark: &str,
+    factory: F,
+    golden: &Output,
+    cfg: &CampaignConfig,
+    store_cfg: &StoreConfig,
+) -> std::io::Result<StoredRun<Campaign>>
+where
+    T: FaultTarget,
+    F: Fn() -> T + Sync,
+{
+    assert!(!cfg.models.is_empty(), "campaign needs at least one fault model");
+    let _quiet = crate::panic_guard::silence_panics();
+    let total_steps = factory().total_steps().max(1);
+    let wall = std::time::Instant::now();
+    let busy_ns = AtomicU64::new(0);
+
+    let meta = CampaignMeta {
+        kind: "inject".into(),
+        benchmark: benchmark.into(),
+        seed: cfg.seed,
+        trials: cfg.trials,
+        shards: store_cfg.shards,
+        n_windows: cfg.n_windows,
+        version: store::journal::FORMAT_VERSION,
+    };
+    let (writer, progress, prior) = open_journal(store_cfg, meta)?;
+    let plan = ShardPlan::new(cfg.trials, store_cfg.shards);
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+
+    let run = drive_shards(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, |trial| {
+        execute_trial(benchmark, factory(), golden, cfg, total_steps, trial)
+    })?;
+    Ok(match run {
+        StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
+        StoredRun::Complete(records) => {
+            let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
+            StoredRun::Complete(Campaign { benchmark: benchmark.to_string(), records, report })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::target::{StepOutcome, VarClass, VarInfo, Variable};
+
+    /// Tiny deterministic victim (mirror of the campaign-test victim).
+    struct Victim {
+        data: Vec<u32>,
+        ctrl: u64,
+        done: usize,
+    }
+    impl Victim {
+        fn new() -> Self {
+            Victim { data: (0..64u32).collect(), ctrl: 0, done: 0 }
+        }
+    }
+    impl FaultTarget for Victim {
+        fn name(&self) -> &'static str {
+            "victim"
+        }
+        fn total_steps(&self) -> usize {
+            8
+        }
+        fn steps_executed(&self) -> usize {
+            self.done
+        }
+        fn step(&mut self) -> StepOutcome {
+            let base = (self.ctrl as usize) * 8;
+            for i in 0..8 {
+                self.data[base + i] = self.data[base + i].wrapping_mul(3).wrapping_add(1);
+            }
+            self.ctrl += 1;
+            self.done += 1;
+            if self.done >= 8 {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            }
+        }
+        fn variables(&mut self) -> Vec<Variable<'_>> {
+            vec![
+                Variable::from_slice(VarInfo::global("data", VarClass::Matrix, file!(), line!()), &mut self.data),
+                Variable::from_scalar(VarInfo::local("ctrl", VarClass::ControlVariable, "loop", 0, file!(), line!()), &mut self.ctrl),
+            ]
+        }
+        fn output(&self) -> Output {
+            Output::I32Grid { dims: [8, 8, 1], data: self.data.iter().map(|&x| x as i32).collect() }
+        }
+    }
+
+    fn golden() -> Output {
+        let mut v = Victim::new();
+        while v.step() == StepOutcome::Continue {}
+        v.output()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-orchestrator").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_same_records(a: &[TrialRecord], b: &[TrialRecord]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.trial, y.trial);
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.inject_step, y.inject_step);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.executed_steps, y.executed_steps);
+        }
+    }
+
+    #[test]
+    fn any_shard_count_matches_the_single_shot_run() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 96, seed: 41, ..Default::default() };
+        let single = run_campaign("victim", Victim::new, &g, &cfg);
+        for shards in [1usize, 3, 7] {
+            let mut sc = StoreConfig::new(tmp(&format!("shards-{shards}")));
+            sc.shards = shards;
+            let stored = run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap().expect_complete();
+            assert_same_records(&single.records, &stored.records);
+            assert_eq!(single.report.outcomes, stored.report.outcomes);
+        }
+    }
+
+    #[test]
+    fn interrupted_resume_matches_uninterrupted_run() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 80, seed: 5, ..Default::default() };
+        let uninterrupted = run_campaign("victim", Victim::new, &g, &cfg);
+
+        let mut sc = StoreConfig::new(tmp("interrupt"));
+        sc.shards = 4;
+        sc.checkpoint_every = 7;
+        sc.budget = Some(13); // exhaust the budget repeatedly
+        let mut rounds = 0;
+        let stored = loop {
+            rounds += 1;
+            assert!(rounds < 50, "campaign never completed");
+            match run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap() {
+                StoredRun::Complete(c) => break c,
+                StoredRun::Paused { completed, total } => {
+                    assert!(completed < total as u64);
+                    sc.resume = true;
+                }
+            }
+        };
+        assert!(rounds > 2, "budget of 13/80 should take several rounds, took {rounds}");
+        assert_same_records(&uninterrupted.records, &stored.records);
+    }
+
+    #[test]
+    fn fresh_run_refuses_existing_journal() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 8, seed: 1, ..Default::default() };
+        let sc = StoreConfig::new(tmp("refuse"));
+        run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap().expect_complete();
+        let err = run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert!(err.to_string().contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn resume_refuses_a_different_campaign() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 8, seed: 1, ..Default::default() };
+        let mut sc = StoreConfig::new(tmp("meta-mismatch"));
+        run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap().expect_complete();
+        sc.resume = true;
+        let other = CampaignConfig { trials: 8, seed: 2, ..Default::default() };
+        let err = run_campaign_stored("victim", Victim::new, &g, &other, &sc).unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+    }
+
+    #[test]
+    fn resume_of_a_complete_journal_is_a_cheap_no_op() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 24, seed: 9, ..Default::default() };
+        let mut sc = StoreConfig::new(tmp("noop-resume"));
+        sc.shards = 3;
+        let first = run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap().expect_complete();
+        sc.resume = true;
+        sc.budget = Some(0); // no execution allowed: everything must come from the journal
+        let second = run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap().expect_complete();
+        assert_same_records(&first.records, &second.records);
+    }
+}

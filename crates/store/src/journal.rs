@@ -1,0 +1,431 @@
+//! Append-only, crash-safe campaign journal.
+//!
+//! A journal is a directory of segment files (`seg-00000.jsonl`, …). Each
+//! line is one [`JournalEntry`] encoded as
+//!
+//! ```text
+//! <crc32-hex8> <entry-json>\n
+//! ```
+//!
+//! where the checksum covers the JSON bytes. Appends go to the newest
+//! segment only and are flushed line-atomically, so after a crash (or
+//! `kill -9`) at most the final line is torn. [`Journal::scan`] validates
+//! every line; the recovery rule is *keep every complete record, drop the
+//! torn tail*: scanning stops at the first invalid line of the newest
+//! segment, and [`JournalWriter::resume`] physically truncates the file back
+//! to the end of its valid prefix before appending. An invalid line in any
+//! older segment is not a torn tail — writers never touch closed segments —
+//! so it is reported as corruption instead of being silently dropped.
+//!
+//! Durability telemetry flows through `phi-obs`: `store.append`/`store.scan`
+//! spans, `store/appends`, `store/checkpoints`, `store/segments` and
+//! `store/torn-bytes` counters.
+
+use crate::crc32;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version, embedded in [`CampaignMeta`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Rotation threshold: appends that push a segment past this many bytes
+/// close it and open the next one.
+pub const SEGMENT_BYTES: u64 = 8 << 20;
+
+/// Identity of the campaign a journal belongs to. Written once as the first
+/// entry; `resume` refuses to continue a journal whose meta does not match
+/// the requested campaign (different seed, trial budget or shard count would
+/// silently break determinism).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignMeta {
+    /// Campaign family: `"inject"` or `"beam"`.
+    pub kind: String,
+    pub benchmark: String,
+    pub seed: u64,
+    /// Total trials (or strikes) of the whole campaign.
+    pub trials: usize,
+    pub shards: usize,
+    pub n_windows: usize,
+    pub version: u32,
+}
+
+/// Durable cursor of one shard: how far its gapless trial sequence has
+/// progressed and which RNG stream the next trial draws from. Written
+/// periodically so `resume` can size remaining work without replaying every
+/// trial entry, and validated against the replayed trial count on open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCursor {
+    pub shard: usize,
+    /// Trials of this shard completed and journaled.
+    pub completed: u64,
+    /// RNG stream id (= global trial index) the next trial will fork.
+    pub next_stream: u64,
+}
+
+/// One durable journal record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// Campaign identity; always the first entry.
+    Meta(CampaignMeta),
+    /// One completed trial. `seq` is the shard-local sequence number
+    /// (gapless from 0); `payload` is the pre-serialized trial record,
+    /// opaque to the store.
+    Trial { shard: usize, seq: u64, payload: String },
+    /// Periodic per-shard progress checkpoint.
+    Checkpoint(ShardCursor),
+    /// The shard finished its whole range.
+    ShardDone { shard: usize },
+}
+
+/// Result of scanning a journal directory.
+#[derive(Debug)]
+pub struct JournalScan {
+    pub meta: Option<CampaignMeta>,
+    pub entries: Vec<JournalEntry>,
+    /// Segment files seen, in order.
+    pub segments: Vec<PathBuf>,
+    /// Bytes of torn tail dropped from the newest segment (0 = clean).
+    pub torn_bytes: u64,
+}
+
+/// Read access to a journal directory.
+pub struct Journal;
+
+fn segment_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("seg-{index:05}.jsonl"))
+}
+
+/// Lists `seg-*.jsonl` files in `dir`, ordered by index. Indices must be
+/// contiguous from 0 (a gap means a segment was deleted out from under us).
+fn list_segments(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut indices = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".jsonl")) {
+            if let Ok(i) = idx.parse::<usize>() {
+                indices.push(i);
+            }
+        }
+    }
+    indices.sort_unstable();
+    for (expect, &got) in indices.iter().enumerate() {
+        if expect != got {
+            return Err(corrupt(format!("missing journal segment seg-{expect:05}.jsonl in {}", dir.display())));
+        }
+    }
+    Ok(indices.into_iter().map(|i| segment_path(dir, i)).collect())
+}
+
+fn corrupt(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Encodes one entry as a checksummed line.
+fn encode_line(entry: &JournalEntry) -> std::io::Result<Vec<u8>> {
+    let json = serde_json::to_string(entry).map_err(std::io::Error::other)?;
+    let mut line = Vec::with_capacity(json.len() + 10);
+    line.extend_from_slice(format!("{:08x} ", crc32(json.as_bytes())).as_bytes());
+    line.extend_from_slice(json.as_bytes());
+    line.push(b'\n');
+    Ok(line)
+}
+
+/// Decodes one line (without its trailing `\n`). `None` = torn/invalid.
+fn decode_line(line: &[u8]) -> Option<JournalEntry> {
+    if line.len() < 10 || line[8] != b' ' {
+        return None;
+    }
+    let crc = u32::from_str_radix(std::str::from_utf8(&line[..8]).ok()?, 16).ok()?;
+    let json = &line[9..];
+    if crc32(json) != crc {
+        return None;
+    }
+    serde_json::from_str(std::str::from_utf8(json).ok()?).ok()
+}
+
+/// Validated prefix of one segment's bytes: entries plus the byte offset the
+/// valid prefix ends at.
+fn scan_segment(bytes: &[u8]) -> (Vec<JournalEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut valid_end = 0usize;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        // A complete line includes its newline; a trailing fragment without
+        // one is torn by definition (appends are whole-line flushes).
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else { break };
+        match decode_line(&bytes[pos..pos + nl]) {
+            Some(entry) => {
+                entries.push(entry);
+                pos += nl + 1;
+                valid_end = pos;
+            }
+            None => break,
+        }
+    }
+    (entries, valid_end)
+}
+
+impl Journal {
+    /// True when `dir` already holds a journal (has a first segment).
+    pub fn exists(dir: &Path) -> bool {
+        segment_path(dir, 0).exists()
+    }
+
+    /// Scans every segment, validating checksums. Keeps all complete
+    /// records; drops the torn tail of the newest segment; reports
+    /// corruption anywhere else as an error naming the offending segment.
+    pub fn scan(dir: &Path) -> std::io::Result<JournalScan> {
+        let _span = obs::span!("store.scan");
+        let segments = list_segments(dir)?;
+        let mut entries = Vec::new();
+        let mut torn_bytes = 0u64;
+        let last = segments.len().saturating_sub(1);
+        for (i, seg) in segments.iter().enumerate() {
+            let mut bytes = Vec::new();
+            File::open(seg)?.read_to_end(&mut bytes)?;
+            let (seg_entries, valid_end) = scan_segment(&bytes);
+            if valid_end < bytes.len() {
+                if i != last {
+                    return Err(corrupt(format!(
+                        "corrupt record at byte {valid_end} of closed segment {} (only the newest segment may have a torn tail)",
+                        seg.display()
+                    )));
+                }
+                torn_bytes = (bytes.len() - valid_end) as u64;
+                obs::incr("store/torn-bytes", torn_bytes);
+            }
+            entries.extend(seg_entries);
+        }
+        let meta = match entries.first() {
+            Some(JournalEntry::Meta(m)) => Some(m.clone()),
+            Some(_) => return Err(corrupt(format!("journal {} does not start with a Meta entry", dir.display()))),
+            None => None,
+        };
+        Ok(JournalScan { meta, entries, segments, torn_bytes })
+    }
+}
+
+/// Appending side of a journal. One writer per journal directory; campaign
+/// workers share it behind a mutex. Every append is flushed as a whole line,
+/// which is what bounds crash loss to the single in-flight record.
+#[derive(Debug)]
+pub struct JournalWriter {
+    dir: PathBuf,
+    file: File,
+    segment_index: usize,
+    segment_bytes: u64,
+    /// Rotation threshold (tests shrink it to force multi-segment journals).
+    pub rotate_at: u64,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal in `dir` (created if missing) and writes the
+    /// `Meta` entry. Fails if a journal already exists there.
+    pub fn create(dir: &Path, meta: CampaignMeta) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        if Journal::exists(dir) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("journal already exists at {}", dir.display()),
+            ));
+        }
+        let path = segment_path(dir, 0);
+        let file = OpenOptions::new().create_new(true).append(true).open(&path)?;
+        obs::incr("store/segments", 1);
+        let mut w = JournalWriter { dir: dir.to_path_buf(), file, segment_index: 0, segment_bytes: 0, rotate_at: SEGMENT_BYTES };
+        w.append(&JournalEntry::Meta(meta))?;
+        Ok(w)
+    }
+
+    /// Re-opens an existing journal for appending: scans it, truncates the
+    /// newest segment back to its valid prefix (dropping the torn tail) and
+    /// positions the writer after the last complete record. Returns the scan
+    /// so the caller can rebuild shard progress from the surviving entries.
+    pub fn resume(dir: &Path) -> std::io::Result<(Self, JournalScan)> {
+        let scan = Journal::scan(dir)?;
+        let last = scan
+            .segments
+            .last()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, format!("no journal at {}", dir.display())))?;
+        let mut file = OpenOptions::new().read(true).write(true).open(last)?;
+        let len = file.metadata()?.len();
+        if scan.torn_bytes > 0 {
+            file.set_len(len - scan.torn_bytes)?;
+        }
+        file.seek(std::io::SeekFrom::End(0))?;
+        let segment_bytes = len - scan.torn_bytes;
+        Ok((
+            JournalWriter {
+                dir: dir.to_path_buf(),
+                file,
+                segment_index: scan.segments.len() - 1,
+                segment_bytes,
+                rotate_at: SEGMENT_BYTES,
+            },
+            scan,
+        ))
+    }
+
+    /// Appends one entry and flushes it to the OS. Rotates to a new segment
+    /// first when the current one is past the threshold.
+    pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
+        let _span = obs::span!("store.append");
+        if self.segment_bytes >= self.rotate_at {
+            self.segment_index += 1;
+            let path = segment_path(&self.dir, self.segment_index);
+            self.file = OpenOptions::new().create_new(true).append(true).open(&path)?;
+            self.segment_bytes = 0;
+            obs::incr("store/segments", 1);
+        }
+        let line = encode_line(entry)?;
+        self.file.write_all(&line)?;
+        self.file.flush()?;
+        self.segment_bytes += line.len() as u64;
+        obs::incr("store/appends", 1);
+        if matches!(entry, JournalEntry::Checkpoint(_)) {
+            obs::incr("store/checkpoints", 1);
+        }
+        Ok(())
+    }
+
+    /// Forces journal bytes to stable storage (fsync). Called at shard
+    /// checkpoints; per-append flushes already bound process-crash loss.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        let _span = obs::span!("store.sync");
+        self.file.sync_data()
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        // Appends are flushed eagerly; this is the last-ditch flush for any
+        // future buffered write path, kept errorless because Drop may run
+        // during unwinding from a panicking campaign worker.
+        let _ = self.file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-journal").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta() -> CampaignMeta {
+        CampaignMeta { kind: "inject".into(), benchmark: "victim".into(), seed: 7, trials: 100, shards: 4, n_windows: 4, version: FORMAT_VERSION }
+    }
+
+    fn trial(shard: usize, seq: u64) -> JournalEntry {
+        JournalEntry::Trial { shard, seq, payload: format!("{{\"t\":{seq}}}") }
+    }
+
+    #[test]
+    fn roundtrips_entries_through_segments() {
+        let dir = tmp("roundtrip");
+        let mut w = JournalWriter::create(&dir, meta()).unwrap();
+        w.rotate_at = 200; // force several segments
+        for seq in 0..50 {
+            w.append(&trial(seq as usize % 4, seq)).unwrap();
+        }
+        w.append(&JournalEntry::Checkpoint(ShardCursor { shard: 0, completed: 13, next_stream: 13 })).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let scan = Journal::scan(&dir).unwrap();
+        assert_eq!(scan.meta, Some(meta()));
+        assert_eq!(scan.entries.len(), 52);
+        assert_eq!(scan.torn_bytes, 0);
+        assert!(scan.segments.len() > 1, "rotation should have produced several segments");
+        assert_eq!(scan.entries[1], trial(0, 0));
+        assert_eq!(*scan.entries.last().unwrap(), JournalEntry::Checkpoint(ShardCursor { shard: 0, completed: 13, next_stream: 13 }));
+    }
+
+    #[test]
+    fn create_refuses_existing_journal() {
+        let dir = tmp("create-twice");
+        let w = JournalWriter::create(&dir, meta()).unwrap();
+        drop(w);
+        let err = JournalWriter::create(&dir, meta()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert!(err.to_string().contains("create-twice"), "error should name the path: {err}");
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_resume() {
+        let dir = tmp("torn-tail");
+        let mut w = JournalWriter::create(&dir, meta()).unwrap();
+        for seq in 0..10 {
+            w.append(&trial(0, seq)).unwrap();
+        }
+        drop(w);
+        // Tear the last record: chop half the final line off.
+        let seg = segment_path(&dir, 0);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let scan = Journal::scan(&dir).unwrap();
+        assert_eq!(scan.entries.len(), 10, "meta + 9 complete trials survive");
+        assert!(scan.torn_bytes > 0);
+
+        let (mut w, scan) = JournalWriter::resume(&dir).unwrap();
+        assert_eq!(scan.entries.len(), 10);
+        w.append(&trial(0, 9)).unwrap();
+        drop(w);
+        let scan = Journal::scan(&dir).unwrap();
+        assert_eq!(scan.torn_bytes, 0, "resume truncated the torn tail");
+        assert_eq!(scan.entries.len(), 11);
+        assert_eq!(*scan.entries.last().unwrap(), trial(0, 9));
+    }
+
+    #[test]
+    fn corrupt_closed_segment_is_an_error_not_a_silent_drop() {
+        let dir = tmp("corrupt-closed");
+        let mut w = JournalWriter::create(&dir, meta()).unwrap();
+        w.rotate_at = 100;
+        for seq in 0..30 {
+            w.append(&trial(0, seq)).unwrap();
+        }
+        drop(w);
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 2);
+        // Flip a byte in the middle of the first (closed) segment.
+        let mut bytes = std::fs::read(&segs[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&segs[0], &bytes).unwrap();
+        let err = Journal::scan(&dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("seg-00000"), "{err}");
+    }
+
+    #[test]
+    fn garbage_line_in_newest_segment_is_a_torn_tail() {
+        let dir = tmp("garbage-tail");
+        let mut w = JournalWriter::create(&dir, meta()).unwrap();
+        w.append(&trial(0, 0)).unwrap();
+        drop(w);
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(b"deadbeef {\"not\":\"checksummed\"}\n").unwrap();
+        drop(f);
+        let scan = Journal::scan(&dir).unwrap();
+        assert_eq!(scan.entries.len(), 2);
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn scan_of_missing_directory_fails() {
+        let dir = tmp("never-created");
+        assert!(Journal::scan(&dir).is_err());
+        assert!(!Journal::exists(&dir));
+    }
+}

@@ -1,0 +1,120 @@
+//! Work-queue scheduling for shard tasks.
+//!
+//! A crossbeam channel fans shard tasks out to scoped worker threads.
+//! Workers pull until the queue drains or a [`StopFlag`] trips; the flag is
+//! also handed to the task body so long-running shards can stop between
+//! trials (budget exhaustion, embedder-requested shutdown). Because the
+//! campaign journal flushes every append, a cooperative stop — or even a
+//! hard kill — never loses more than the single in-flight record.
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cooperative shutdown signal shared by the scheduler, its workers and the
+/// embedding binary.
+#[derive(Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a graceful stop: workers finish their current trial, journal
+    /// a checkpoint and exit.
+    pub fn request_stop(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn should_stop(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `tasks` on `workers` threads pulling from a shared queue. Returns
+/// when the queue drains or every worker observed `stop`. Worker panics
+/// propagate to the caller after the remaining workers finish.
+pub fn run_tasks<T, F>(tasks: Vec<T>, workers: usize, stop: &StopFlag, worker: F)
+where
+    T: Send,
+    F: Fn(T, &StopFlag) + Sync,
+{
+    if tasks.is_empty() {
+        return;
+    }
+    let workers = workers.max(1).min(tasks.len());
+    let (tx, rx) = channel::unbounded();
+    for task in tasks {
+        if tx.send(task).is_err() {
+            unreachable!("queue receiver alive until scope ends");
+        }
+    }
+    drop(tx); // queue drains to disconnection
+    let worker = &worker;
+    let result = crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            scope.spawn(move |_| {
+                obs::incr("queue/workers", 1);
+                while !stop.should_stop() {
+                    match rx.try_recv() {
+                        Ok(task) => worker(task, stop),
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+    });
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let hits = vec![0u8; 64].into_iter().map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        run_tasks((0..64).collect(), 8, &StopFlag::new(), |i: usize, _| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn stop_flag_leaves_remaining_tasks_unexecuted() {
+        let stop = StopFlag::new();
+        let ran = AtomicUsize::new(0);
+        run_tasks((0..1000).collect(), 1, &stop, |_: usize, stop| {
+            if ran.fetch_add(1, Ordering::SeqCst) + 1 >= 10 {
+                stop.request_stop();
+            }
+        });
+        let n = ran.load(Ordering::SeqCst);
+        assert!((10..1000).contains(&n), "stopped after {n} tasks");
+        assert!(stop.should_stop());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_tasks(vec![1, 2, 3], 2, &StopFlag::new(), |i: i32, _| {
+                if i == 2 {
+                    panic!("task exploded");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        run_tasks(Vec::<()>::new(), 4, &StopFlag::new(), |_, _| unreachable!());
+    }
+}

@@ -1,8 +1,9 @@
-//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope` and a
+//! Mutex+Condvar MPMC channel.
 //!
-//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
-//! `ScopedJoinHandle::join`, so that is all this shim provides. Semantics
-//! mirror crossbeam's:
+//! The workspace uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join` plus `crossbeam::channel::unbounded`, so that is
+//! all this shim provides. Semantics mirror crossbeam's:
 //!
 //! * `scope` returns `Err(first_panic_payload)` when a spawned thread
 //!   panicked and its handle was dropped unjoined (std would abort the scope
@@ -94,8 +95,212 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Mirror of `crossbeam::channel`: an unbounded MPMC queue.
+    //!
+    //! Disconnection semantics match crossbeam's: `recv` on an empty channel
+    //! blocks until a message arrives or every `Sender` is dropped; a send
+    //! after every `Receiver` is dropped returns the message back in a
+    //! `SendError`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Mirror of `crossbeam::channel::SendError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Mirror of `crossbeam::channel::RecvError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Mirror of `crossbeam::channel::TryRecvError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(SendError(item));
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match state.items.pop_front() {
+                Some(item) => Ok(item),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers -= 1;
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Mirror of `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel::{unbounded, RecvError, TryRecvError};
+
+    #[test]
+    fn channel_delivers_in_fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let h = std::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_all_receivers_dropped() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_drain_everything() {
+        let (tx, rx) = unbounded::<u64>();
+        let total: u64 = std::thread::scope(|s| {
+            let mut consumers = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                consumers.push(s.spawn(move || rx.iter().sum::<u64>()));
+            }
+            for p in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            drop(rx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let expected: u64 = (0..4u64).flat_map(|p| (0..100).map(move |i| p * 1000 + i)).sum();
+        assert_eq!(total, expected);
+    }
+
     #[test]
     fn scope_joins_and_returns_closure_value() {
         let mut acc = vec![0u64; 4];

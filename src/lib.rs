@@ -14,6 +14,9 @@
 //!   tolerance sweeps, PVF and time-window analysis.
 //! * [`mitigation`] — ABFT, residue checking, duplication-with-comparison,
 //!   parity and checkpointing cost models.
+//! * [`store`] — durable campaign store: crash-safe journal, deterministic
+//!   sharding and resumable orchestration (used via
+//!   `carolfi::run_campaign_stored` / `beamsim::run_beam_campaign_stored`).
 
 pub use beamsim;
 pub use carolfi;
@@ -21,3 +24,4 @@ pub use kernels;
 pub use mitigation;
 pub use phidev;
 pub use sdc_analysis;
+pub use store;

@@ -1,0 +1,122 @@
+//! End-to-end tests for the durable campaign store (phi-store +
+//! orchestrators): a sharded, journal-backed campaign must aggregate
+//! bit-identically to the plain single-shot run, no matter how many shards
+//! it uses or how often it is killed and resumed along the way.
+
+use phi_reliability::carolfi::record::TrialRecord;
+use phi_reliability::carolfi::{run_campaign, run_campaign_stored, CampaignConfig, StoreConfig, StoredRun};
+use phi_reliability::kernels::{build, golden, Benchmark, SizeClass};
+use phi_reliability::store::{Journal, JournalEntry};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/test-store-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_same_records(a: &[TrialRecord], b: &[TrialRecord]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.trial, y.trial);
+        assert_eq!(x.outcome, y.outcome);
+        assert_eq!(x.mechanism, y.mechanism);
+        assert_eq!(x.inject_step, y.inject_step);
+        assert_eq!(x.window, y.window);
+    }
+}
+
+#[test]
+fn sharded_campaign_equals_single_shot_for_any_shard_count() {
+    let b = Benchmark::Hotspot;
+    let g = golden(b, SizeClass::Test);
+    let cfg = CampaignConfig { trials: 60, seed: 9, n_windows: b.n_windows(), ..Default::default() };
+    let single = run_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+
+    for shards in [1usize, 4, 7] {
+        let mut sc = StoreConfig::new(tmp(&format!("shards-{shards}")));
+        sc.shards = shards;
+        let stored = run_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc)
+            .unwrap()
+            .expect_complete();
+        assert_same_records(&single.records, &stored.records);
+    }
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_the_uninterrupted_aggregate() {
+    let b = Benchmark::Nw;
+    let g = golden(b, SizeClass::Test);
+    let cfg = CampaignConfig { trials: 90, seed: 13, n_windows: b.n_windows(), ..Default::default() };
+    let uninterrupted = run_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+
+    // Kill the campaign every 25 trials (budget exhaustion takes the same
+    // pause path a supervisor shutdown does: journal flushed, cursors
+    // checkpointed) and resume until it completes.
+    let mut sc = StoreConfig::new(tmp("interrupt"));
+    sc.shards = 4;
+    sc.checkpoint_every = 8;
+    sc.budget = Some(25);
+    let mut rounds = 0;
+    let stored = loop {
+        rounds += 1;
+        assert!(rounds < 20, "campaign never completed");
+        match run_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc).unwrap() {
+            StoredRun::Complete(c) => break c,
+            StoredRun::Paused { completed, total } => {
+                assert!(completed < total as u64);
+                sc.resume = true;
+            }
+        }
+    };
+    assert!(rounds >= 4, "90 trials at 25/invocation should pause at least 3 times, took {rounds} rounds");
+    assert_same_records(&uninterrupted.records, &stored.records);
+}
+
+#[test]
+fn resuming_a_complete_campaign_reruns_nothing() {
+    let b = Benchmark::Clamr;
+    let g = golden(b, SizeClass::Test);
+    let cfg = CampaignConfig { trials: 40, seed: 21, n_windows: b.n_windows(), ..Default::default() };
+    let dir = tmp("complete-resume");
+
+    let mut sc = StoreConfig::new(dir.clone());
+    sc.shards = 5;
+    let first = run_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc)
+        .unwrap()
+        .expect_complete();
+
+    let scan = Journal::scan(&dir).unwrap();
+    let done = scan.entries.iter().filter(|e| matches!(e, JournalEntry::ShardDone { .. })).count();
+    assert_eq!(done, 5, "every shard seals with a ShardDone");
+
+    // A resume of a finished store must replay from the journal without
+    // executing (or re-journaling) a single trial.
+    sc.resume = true;
+    let second = run_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc)
+        .unwrap()
+        .expect_complete();
+    assert_same_records(&first.records, &second.records);
+    let rescan = Journal::scan(&dir).unwrap();
+    assert_eq!(rescan.entries.len(), scan.entries.len(), "no new entries on a no-op resume");
+}
+
+#[test]
+fn opening_an_existing_store_without_resume_is_refused() {
+    let b = Benchmark::Lud;
+    let g = golden(b, SizeClass::Test);
+    let cfg = CampaignConfig { trials: 10, seed: 3, n_windows: b.n_windows(), ..Default::default() };
+    let mut sc = StoreConfig::new(tmp("no-clobber"));
+    sc.shards = 2;
+    run_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc).unwrap().expect_complete();
+
+    let err = run_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &cfg, &sc).unwrap_err();
+    assert!(err.to_string().contains("--resume"), "error should point at --resume: {err}");
+
+    // And a resume under a different campaign identity is refused too —
+    // merging two campaigns' records would be silent corruption.
+    sc.resume = true;
+    let other = CampaignConfig { trials: 10, seed: 4, n_windows: b.n_windows(), ..Default::default() };
+    let err = run_campaign_stored(b.label(), || build(b, SizeClass::Test), &g, &other, &sc).unwrap_err();
+    assert!(err.to_string().contains("different campaign"), "{err}");
+}

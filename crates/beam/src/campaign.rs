@@ -16,8 +16,9 @@ use crate::effects::BeamApplicator;
 use crate::flux::FluxEnvironment;
 use carolfi::output::Output;
 use carolfi::record::{DueKind, OutcomeRecord, TrialRecord};
-use carolfi::supervisor::{run_trial, TrialConfig, TrialOutcome};
+use carolfi::supervisor::{run_trial_mut, TrialConfig, TrialOutcome};
 use carolfi::target::FaultTarget;
+use carolfi::TargetPool;
 use phidev::mca::{McaLog, McaSeverity};
 use phidev::strike::{ArchEffect, StrikeEngine};
 use rand::Rng;
@@ -32,9 +33,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// lands near the paper's ≈193 FIT ceiling.
 pub const SIGMA_RAW_CM2: f64 = 9.0e-8;
 
-/// Per-strike result slot: the record, the MCA severity (if any) and the
-/// outcome-counter key, filled by whichever worker executed the strike.
-type StrikeSlot = Option<(TrialRecord, Option<McaSeverity>, &'static str)>;
+/// Per-strike result slot: the record, the MCA severity (if any), the
+/// outcome-counter key and whether the bitwise fast-path compare classified
+/// the strike, filled by whichever worker executed the strike.
+type StrikeSlot = Option<(TrialRecord, Option<McaSeverity>, &'static str, bool)>;
 
 /// Per-benchmark control-flow densities used to build the strike engine for
 /// the Fig. 2 reproduction. Derived from each benchmark's character (paper
@@ -198,22 +200,24 @@ impl BeamCampaign {
 }
 
 /// Executes one strike of the campaign described by `cfg` and returns its
-/// record plus the MCA event (if any) and the struck resource's label.
+/// record plus the MCA event (if any), the struck resource's label and
+/// whether the bitwise fast-path compare classified it.
 ///
 /// `strike` is the strike's campaign-global index, which fully determines
 /// its RNG stream (`carolfi::rng::fork(cfg.seed, strike)`) and therefore the
 /// struck resource, architectural effect and injection time — the property
 /// the sharded/resumable orchestrator relies on to merge partial runs into
 /// an aggregate bit-identical to the single-shot campaign. Benign strikes
-/// (dead state, ECC-corrected) never construct the target.
+/// (dead state, ECC-corrected) never touch the target pool — the program
+/// under test is not executed at all.
 pub fn execute_strike<T, F>(
     benchmark: &str,
-    factory: &F,
+    pool: &TargetPool<T, F>,
     golden: &Output,
     cfg: &BeamConfig,
     total_steps: usize,
     strike: usize,
-) -> (TrialRecord, Option<McaSeverity>, &'static str)
+) -> (TrialRecord, Option<McaSeverity>, &'static str, bool)
 where
     T: FaultTarget,
     F: Fn() -> T,
@@ -228,12 +232,13 @@ where
     };
 
     // Benign strikes don't need an execution.
-    let (outcome, injection, executed) = if effect.is_benign() {
-        (OutcomeRecord::HardwareMasked, None, 0)
+    let (outcome, injection, executed, fast) = if effect.is_benign() {
+        (OutcomeRecord::HardwareMasked, None, 0, false)
     } else {
         let mut applicator = BeamApplicator { effect, resource: resource.label() };
-        let result = run_trial(
-            factory(),
+        let mut target = pool.acquire();
+        let result = run_trial_mut(
+            &mut target,
             golden,
             &mut applicator,
             TrialConfig { inject_step, watchdog_factor: cfg.watchdog_factor },
@@ -245,7 +250,8 @@ where
             TrialOutcome::Sdc(s) => OutcomeRecord::Sdc(s),
             TrialOutcome::Due(c) => OutcomeRecord::Due(c.into()),
         };
-        (outcome, result.injection, result.executed_steps)
+        pool.release(target, outcome.is_due());
+        (outcome, result.injection, result.executed_steps, result.fast_compare)
     };
 
     let record = TrialRecord {
@@ -267,7 +273,7 @@ where
             obs::event("strike", &json);
         }
     }
-    (record, mca_event, resource.label())
+    (record, mca_event, resource.label(), fast)
 }
 
 /// Rebuilds the [`McaLog`] from journaled strike records: the mechanism
@@ -305,7 +311,11 @@ where
     F: Fn() -> T + Sync,
 {
     let _quiet = carolfi::panic_guard::silence_panics();
-    let total_steps = factory().total_steps().max(1);
+    let probe = factory();
+    let total_steps = probe.total_steps().max(1);
+    let pool = TargetPool::new(&factory);
+    pool.seed(probe);
+    let fast_compares = AtomicU64::new(0);
     let wall = std::time::Instant::now();
     let busy_ns = AtomicU64::new(0);
     let next = AtomicUsize::new(0);
@@ -322,17 +332,20 @@ where
         for _ in 0..workers {
             scope.spawn(|_| {
                 let mut local_busy = 0u64;
+                let mut local_fast = 0u64;
                 loop {
                     let strike = next.fetch_add(1, Ordering::Relaxed);
                     if strike >= cfg.strikes {
                         break;
                     }
                     let t0 = std::time::Instant::now();
-                    let slot = execute_strike(benchmark, &factory, golden, cfg, total_steps, strike);
+                    let slot = execute_strike(benchmark, &pool, golden, cfg, total_steps, strike);
                     local_busy += t0.elapsed().as_nanos() as u64;
+                    local_fast += slot.3 as u64;
                     *slots[strike].lock() = Some(slot);
                 }
                 busy_ns.fetch_add(local_busy, Ordering::Relaxed);
+                fast_compares.fetch_add(local_fast, Ordering::Relaxed);
             });
         }
     })
@@ -341,7 +354,7 @@ where
     let mut records = Vec::with_capacity(cfg.strikes);
     let mut mca = McaLog::new();
     for (i, slot) in slots.into_iter().enumerate() {
-        let (record, mca_event, resource) = slot.into_inner().expect("strike record missing");
+        let (record, mca_event, resource, _fast) = slot.into_inner().expect("strike record missing");
         if let Some(sev) = mca_event {
             let kind = cfg
                 .engine
@@ -355,13 +368,16 @@ where
         }
         records.push(record);
     }
-    let report = report_for(
+    let mut report = report_for(
         benchmark,
         &records,
         workers,
         busy_ns.into_inner(),
         wall.elapsed().as_nanos() as u64,
     );
+    report.pool_hits = pool.hits();
+    report.pool_rebuilds = pool.rebuilds();
+    report.fast_path_compares = fast_compares.into_inner();
     BeamCampaign { benchmark: benchmark.to_string(), records, mca, sigma_raw: cfg.sigma_raw, environment: cfg.environment, report }
 }
 

@@ -33,7 +33,11 @@ where
     F: Fn() -> T + Sync,
 {
     let _quiet = carolfi::panic_guard::silence_panics();
-    let total_steps = factory().total_steps().max(1);
+    let probe = factory();
+    let total_steps = probe.total_steps().max(1);
+    let pool = carolfi::TargetPool::new(&factory);
+    pool.seed(probe);
+    let fast_compares = AtomicU64::new(0);
     let wall = std::time::Instant::now();
     let busy_ns = AtomicU64::new(0);
 
@@ -55,13 +59,20 @@ where
     };
 
     let run = drive_shards(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, |strike| {
-        execute_strike(benchmark, &factory, golden, cfg, total_steps, strike).0
+        let (record, _mca, _resource, fast) = execute_strike(benchmark, &pool, golden, cfg, total_steps, strike);
+        if fast {
+            fast_compares.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        record
     })?;
     Ok(match run {
         StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
         StoredRun::Complete(records) => {
             let mca = mca_from_records(&cfg.engine, &records);
-            let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
+            let mut report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
+            report.pool_hits = pool.hits();
+            report.pool_rebuilds = pool.rebuilds();
+            report.fast_path_compares = fast_compares.into_inner();
             StoredRun::Complete(BeamCampaign {
                 benchmark: benchmark.to_string(),
                 records,

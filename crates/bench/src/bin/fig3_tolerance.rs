@@ -36,14 +36,27 @@ fn main() {
     }
     rule(9 + 8 * tolerances.len() + 20);
 
-    // Headline checks.
+    // Headline checks. The grid positions are located by nearest match, not
+    // exact float equality — a regenerated or user-supplied tolerance grid
+    // (e.g. parsed from a config where 0.005 prints as 0.0050000001) must
+    // not panic the figure binary.
+    let nearest = |grid: &[f64], want: f64| -> Option<usize> {
+        let (idx, dist) = grid
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, (t - want).abs()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        (dist <= want * 0.1).then_some(idx)
+    };
     println!();
     for curve in &curves {
         let red = curve.fit_reduction_percent();
         if curve.benchmark == "hotspot" {
-            let at_half_pct = red[tolerances.iter().position(|&t| t == 0.005).expect("grid")];
-            let idx2 = tolerances.iter().position(|&t| t == 0.02).expect("grid");
-            println!("hotspot: −{:.0}% at 0.5% tolerance (paper: −85%); MTBF ×{:.1} at 2% (paper: ×20)", at_half_pct, curve.mtbf_gain(idx2));
+            if let (Some(idx_half), Some(idx2)) = (nearest(&tolerances, 0.005), nearest(&tolerances, 0.02)) {
+                println!("hotspot: −{:.0}% at 0.5% tolerance (paper: −85%); MTBF ×{:.1} at 2% (paper: ×20)", red[idx_half], curve.mtbf_gain(idx2));
+            } else {
+                println!("hotspot: tolerance grid lacks the 0.5%/2% headline points; skipping the paper comparison");
+            }
         }
         if curve.benchmark == "clamr" || curve.benchmark == "dgemm" {
             println!("{}: −{:.0}% at 15% tolerance (paper: among the smallest decreases)", curve.benchmark, red[red.len() - 1]);

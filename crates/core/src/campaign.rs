@@ -11,9 +11,10 @@
 
 use crate::models::{CarolFiApplicator, FaultModel};
 use crate::output::Output;
+use crate::pool::TargetPool;
 use crate::record::{DueKind, OutcomeRecord, TrialRecord};
 use crate::select::VariableSelector;
-use crate::supervisor::{run_trial, TrialConfig, TrialOutcome};
+use crate::supervisor::{run_trial_mut, TrialConfig, TrialOutcome};
 use crate::target::FaultTarget;
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -93,9 +94,14 @@ pub fn outcome_key(model: FaultModel, outcome: &OutcomeRecord) -> &'static str {
 pub fn report_for(benchmark: &str, records: &[TrialRecord], workers: usize, busy_ns: u64, wall_ns: u64) -> obs::CampaignReport {
     let mut builder = obs::ReportBuilder::new(benchmark, workers);
     for r in records {
-        let model = r.model.expect("injection campaign records always carry a model");
         let timed_out = matches!(r.outcome, OutcomeRecord::Due(DueKind::Timeout));
-        builder.record_outcome(outcome_key(model, &r.outcome), timed_out);
+        match r.model {
+            Some(model) => builder.record_outcome(outcome_key(model, &r.outcome), timed_out),
+            // Model-less records (beam-shaped logs or hand-edited journals
+            // fed back through `parse_logs`) get a stable "unknown/" key
+            // instead of panicking the report over foreign data.
+            None => builder.record_outcome(format!("unknown/{}", r.outcome.label()), timed_out),
+        }
     }
     builder.add_busy_ns(busy_ns);
     builder.finish(wall_ns)
@@ -150,26 +156,29 @@ pub fn window_of(step: usize, total_steps: usize, n_windows: usize) -> usize {
 }
 
 /// Executes one trial of the campaign described by `cfg` and returns its
-/// record.
+/// record, plus whether the bitwise fast-path compare alone classified it
+/// (telemetry for the campaign report; never part of the record).
 ///
 /// `trial` is the trial's campaign-global index, which fully determines its
 /// RNG stream (`rng::fork(cfg.seed, trial)`), its fault model
 /// (`trial % models.len()`) and its injection time — the property the
 /// sharded/resumable orchestrator relies on to merge partial runs into an
-/// aggregate bit-identical to the single-shot campaign.
+/// aggregate bit-identical to the single-shot campaign. The target is
+/// borrowed (not consumed) so pooled runners can `reset()` and reuse it; a
+/// fresh `factory()` instance per call produces the same record bits.
 pub fn execute_trial<T: FaultTarget>(
     benchmark: &str,
-    target: T,
+    target: &mut T,
     golden: &Output,
     cfg: &CampaignConfig,
     total_steps: usize,
     trial: usize,
-) -> TrialRecord {
+) -> (TrialRecord, bool) {
     let mut rng = crate::rng::fork(cfg.seed, trial as u64);
     let model = cfg.models[trial % cfg.models.len()];
     let inject_step = rng.gen_range(0..total_steps);
     let mut applicator = CarolFiApplicator { model, selector: cfg.selector.clone() };
-    let result = run_trial(
+    let result = run_trial_mut(
         target,
         golden,
         &mut applicator,
@@ -203,14 +212,17 @@ pub fn execute_trial<T: FaultTarget>(
             obs::event("trial", &json);
         }
     }
-    record
+    (record, result.fast_compare)
 }
 
 /// Runs an injection campaign against targets built by `factory`.
 ///
 /// `golden` must be the output of a fault-free run of `factory()`.
 /// Deterministic for a given `(factory, cfg.seed)` pair regardless of
-/// `cfg.workers`.
+/// `cfg.workers`. Targets are pooled: each worker reuses an instance via
+/// [`FaultTarget::reset`] instead of calling `factory()` per trial, with a
+/// factory rebuild after every DUE — the records stay bit-identical to the
+/// factory-per-trial path either way.
 pub fn run_campaign<T, F>(benchmark: &str, factory: F, golden: &Output, cfg: &CampaignConfig) -> Campaign
 where
     T: FaultTarget,
@@ -218,7 +230,11 @@ where
 {
     assert!(!cfg.models.is_empty(), "campaign needs at least one fault model");
     let _quiet = crate::panic_guard::silence_panics();
-    let total_steps = factory().total_steps().max(1);
+    let probe = factory();
+    let total_steps = probe.total_steps().max(1);
+    let pool = TargetPool::new(&factory);
+    pool.seed(probe);
+    let fast_compares = AtomicU64::new(0);
 
     let wall = std::time::Instant::now();
     let busy_ns = AtomicU64::new(0);
@@ -236,17 +252,22 @@ where
         for _ in 0..workers {
             scope.spawn(|_| {
                 let mut local_busy = 0u64;
+                let mut local_fast = 0u64;
                 loop {
                     let trial = next.fetch_add(1, Ordering::Relaxed);
                     if trial >= cfg.trials {
                         break;
                     }
                     let t0 = std::time::Instant::now();
-                    let record = execute_trial(benchmark, factory(), golden, cfg, total_steps, trial);
+                    let mut target = pool.acquire();
+                    let (record, fast) = execute_trial(benchmark, &mut target, golden, cfg, total_steps, trial);
+                    pool.release(target, record.outcome.is_due());
                     local_busy += t0.elapsed().as_nanos() as u64;
+                    local_fast += fast as u64;
                     *records[trial].lock() = Some(record);
                 }
                 busy_ns.fetch_add(local_busy, Ordering::Relaxed);
+                fast_compares.fetch_add(local_fast, Ordering::Relaxed);
             });
         }
     })
@@ -256,13 +277,16 @@ where
         .into_iter()
         .map(|slot| slot.into_inner().expect("trial record missing"))
         .collect();
-    let report = report_for(
+    let mut report = report_for(
         benchmark,
         &records,
         workers,
         busy_ns.into_inner(),
         wall.elapsed().as_nanos() as u64,
     );
+    report.pool_hits = pool.hits();
+    report.pool_rebuilds = pool.rebuilds();
+    report.fast_path_compares = fast_compares.into_inner();
     Campaign { benchmark: benchmark.to_string(), records, report }
 }
 
@@ -313,6 +337,14 @@ mod tests {
         }
         fn output(&self) -> Output {
             Output::I32Grid { dims: [8, 8, 1], data: self.data.iter().map(|&x| x as i32).collect() }
+        }
+        fn reset(&mut self) -> bool {
+            for (i, x) in self.data.iter_mut().enumerate() {
+                *x = i as u32;
+            }
+            self.ctrl = 0;
+            self.done = 0;
+            true
         }
     }
 
@@ -382,6 +414,44 @@ mod tests {
         assert_eq!(by_key("/masked") + by_key("/hw-masked"), masked);
         let timeouts = c.records.iter().filter(|r| matches!(r.outcome, OutcomeRecord::Due(DueKind::Timeout))).count();
         assert_eq!(c.report.watchdog_fires, timeouts);
+    }
+
+    #[test]
+    fn report_degrades_model_less_records_to_unknown_keys() {
+        // Regression: `report_for` used to panic on records with
+        // `model: None` (beam-shaped or hand-edited journals fed back
+        // through parse_logs).
+        let g = golden();
+        let cfg = CampaignConfig { trials: 6, seed: 3, ..Default::default() };
+        let mut records = run_campaign("victim", Victim::new, &g, &cfg).records;
+        for r in &mut records {
+            r.model = None;
+        }
+        let report = report_for("victim", &records, 1, 0, 0);
+        assert_eq!(report.trials, 6);
+        let unknown: usize = report.outcomes.iter().filter(|(k, _)| k.starts_with("unknown/")).map(|(_, n)| n).sum();
+        assert_eq!(unknown, 6, "every model-less record lands under unknown/<outcome>: {:?}", report.outcomes);
+    }
+
+    #[test]
+    fn pool_and_fastpath_gauges_account_for_every_trial() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 120, seed: 7, workers: 4, ..Default::default() };
+        let c = run_campaign("victim", Victim::new, &g, &cfg);
+        // Every trial acquires exactly one target.
+        assert_eq!(c.report.pool_hits + c.report.pool_rebuilds, 120);
+        assert!(c.report.pool_hits > 0, "resettable targets must be reused");
+        // Every DUE drops its (possibly torn) instance, so the pool must
+        // have rebuilt at least once per DUE, up to the instances still idle
+        // at the end (bounded by the worker count plus the seeded probe).
+        let dues = c.records.iter().filter(|r| r.outcome.is_due()).count() as u64;
+        assert!(c.report.pool_rebuilds + 1 + 4 >= dues, "rebuilds {} vs dues {dues}", c.report.pool_rebuilds);
+        // Every Masked outcome is proven by the bitwise fast path alone
+        // (HardwareMasked skips the compare entirely).
+        let masked = c.records.iter().filter(|r| matches!(r.outcome, OutcomeRecord::Masked)).count() as u64;
+        assert_eq!(c.report.fast_path_compares, masked);
+        let shown = c.report.to_string();
+        assert!(shown.contains("pool reuse"), "report display surfaces the pool gauges:\n{shown}");
     }
 
     #[test]

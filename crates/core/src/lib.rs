@@ -43,6 +43,7 @@ pub mod models;
 pub mod orchestrator;
 pub mod output;
 pub mod panic_guard;
+pub mod pool;
 pub mod record;
 pub mod rng;
 pub mod select;
@@ -54,7 +55,8 @@ pub use orchestrator::{run_campaign_stored, StoreConfig, StoredRun};
 pub use fuel::Fuel;
 pub use models::{FaultApplicator, FaultModel, InjectionDetail};
 pub use output::{Mismatch, Output};
+pub use pool::TargetPool;
 pub use record::{OutcomeRecord, TrialRecord, VarDesc};
 pub use select::VariableSelector;
-pub use supervisor::{run_trial, DueCause, TrialConfig, TrialOutcome};
+pub use supervisor::{run_trial, run_trial_mut, DueCause, TrialConfig, TrialOutcome};
 pub use target::{FaultTarget, FrameId, StepOutcome, VarClass, VarInfo, Variable};

@@ -266,7 +266,9 @@ pub fn drive_shards(
 ///
 /// For a fixed `cfg.seed`, the completed aggregate is bit-identical to
 /// `run_campaign` with the same config, for any shard count, worker count,
-/// interruption pattern or number of resume invocations.
+/// interruption pattern or number of resume invocations. Targets are pooled
+/// across trials (reset-in-place, factory rebuild after a DUE) exactly like
+/// the in-memory runner.
 pub fn run_campaign_stored<T, F>(
     benchmark: &str,
     factory: F,
@@ -280,7 +282,11 @@ where
 {
     assert!(!cfg.models.is_empty(), "campaign needs at least one fault model");
     let _quiet = crate::panic_guard::silence_panics();
-    let total_steps = factory().total_steps().max(1);
+    let probe = factory();
+    let total_steps = probe.total_steps().max(1);
+    let pool = crate::pool::TargetPool::new(&factory);
+    pool.seed(probe);
+    let fast_compares = AtomicU64::new(0);
     let wall = std::time::Instant::now();
     let busy_ns = AtomicU64::new(0);
 
@@ -302,12 +308,21 @@ where
     };
 
     let run = drive_shards(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, |trial| {
-        execute_trial(benchmark, factory(), golden, cfg, total_steps, trial)
+        let mut target = pool.acquire();
+        let (record, fast) = execute_trial(benchmark, &mut target, golden, cfg, total_steps, trial);
+        pool.release(target, record.outcome.is_due());
+        if fast {
+            fast_compares.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        record
     })?;
     Ok(match run {
         StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
         StoredRun::Complete(records) => {
-            let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
+            let mut report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
+            report.pool_hits = pool.hits();
+            report.pool_rebuilds = pool.rebuilds();
+            report.fast_path_compares = fast_compares.into_inner();
             StoredRun::Complete(Campaign { benchmark: benchmark.to_string(), records, report })
         }
     })
@@ -361,6 +376,14 @@ mod tests {
         }
         fn output(&self) -> Output {
             Output::I32Grid { dims: [8, 8, 1], data: self.data.iter().map(|&x| x as i32).collect() }
+        }
+        fn reset(&mut self) -> bool {
+            for (i, v) in self.data.iter_mut().enumerate() {
+                *v = i as u32;
+            }
+            self.ctrl = 0;
+            self.done = 0;
+            true
         }
     }
 

@@ -160,6 +160,50 @@ impl Output {
     pub fn matches(&self, golden: &Output) -> bool {
         self.mismatches(golden).is_empty()
     }
+
+    /// Chunked bitwise equality fast path.
+    ///
+    /// Compares the raw data buffers as `u64` words (plus a byte tail), so
+    /// the overwhelmingly common Masked trial never walks elements one by
+    /// one. Agrees with [`Output::mismatches`] exactly: floats compare by
+    /// bit pattern, so NaN payloads and `-0.0` vs `0.0` are mismatches here
+    /// too. Returns `false` (rather than panicking) on shape or element-type
+    /// differences — callers fall through to `mismatches`, which reports the
+    /// harness bug.
+    pub fn bits_equal(&self, golden: &Output) -> bool {
+        if self.dims() != golden.dims() {
+            return false;
+        }
+        match (self, golden) {
+            (Output::F64Grid { data: a, .. }, Output::F64Grid { data: b, .. }) => {
+                bytes_equal_wordwise(crate::bytesview::as_bytes(a), crate::bytesview::as_bytes(b))
+            }
+            (Output::F32Grid { data: a, .. }, Output::F32Grid { data: b, .. }) => {
+                bytes_equal_wordwise(crate::bytesview::as_bytes(a), crate::bytesview::as_bytes(b))
+            }
+            (Output::I32Grid { data: a, .. }, Output::I32Grid { data: b, .. }) => {
+                bytes_equal_wordwise(crate::bytesview::as_bytes(a), crate::bytesview::as_bytes(b))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Word-at-a-time byte equality: 8-byte `u64` chunks first, then the tail.
+fn bytes_equal_wordwise(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (wa, wb) in ac.by_ref().zip(bc.by_ref()) {
+        let wa = u64::from_ne_bytes(wa.try_into().unwrap());
+        let wb = u64::from_ne_bytes(wb.try_into().unwrap());
+        if wa != wb {
+            return false;
+        }
+    }
+    ac.remainder() == bc.remainder()
 }
 
 #[cfg(test)]
@@ -245,6 +289,39 @@ mod tests {
         let a = grid2(1, 2, vec![0.0; 2]);
         let b = grid2(2, 1, vec![0.0; 2]);
         let _ = a.mismatches(&b);
+    }
+
+    #[test]
+    fn bits_equal_agrees_with_mismatches_on_tricky_bit_patterns() {
+        // 17 elements: two u64 words of f32 data plus a 4-byte tail, so both
+        // the word loop and the remainder path are exercised.
+        let golden = Output::F32Grid { dims: [17, 1, 1], data: (0..17).map(|i| i as f32).collect() };
+        assert!(golden.bits_equal(&golden.clone()));
+        for idx in [0usize, 7, 16] {
+            for bad_val in [f32::NAN, -0.0, f32::from_bits(0x7fc0_dead)] {
+                let mut bad = golden.clone();
+                if let Output::F32Grid { data, .. } = &mut bad {
+                    data[idx] = bad_val;
+                }
+                let expect_equal = bad.mismatches(&golden).is_empty();
+                assert_eq!(bad.bits_equal(&golden), expect_equal, "idx {idx} val {bad_val:?}");
+            }
+        }
+        // Identical NaN payloads on both sides are bit-equal — and
+        // mismatches() agrees, because it compares bits, not float ==.
+        let nan = Output::F64Grid { dims: [3, 1, 1], data: vec![f64::from_bits(0x7ff8_0000_0000_beef); 3] };
+        assert!(nan.bits_equal(&nan.clone()));
+        assert!(nan.mismatches(&nan.clone()).is_empty());
+    }
+
+    #[test]
+    fn bits_equal_is_false_across_shapes_and_types() {
+        let a = grid2(1, 2, vec![0.0; 2]);
+        let b = grid2(2, 1, vec![0.0; 2]);
+        assert!(!a.bits_equal(&b), "reshape is never bit-equal");
+        let f32v = Output::F32Grid { dims: [2, 1, 1], data: vec![0.0; 2] };
+        let i32v = Output::I32Grid { dims: [2, 1, 1], data: vec![0; 2] };
+        assert!(!f32v.bits_equal(&i32v), "type change is never bit-equal");
     }
 
     #[test]

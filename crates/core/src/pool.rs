@@ -1,0 +1,173 @@
+//! Per-worker target pools: reuse one victim instance across trials.
+//!
+//! Building a kernel target from scratch allocates and re-derives every
+//! input array; at campaign scale (the paper's ≥10,000 injections per
+//! benchmark, §6) that construction cost dominates wall-clock, because the
+//! overwhelmingly common trial outcome is Masked and the faulted execution
+//! itself is cheap. A [`TargetPool`] keeps finished targets and hands them
+//! back after an in-place [`FaultTarget::reset`], falling back to the
+//! factory only when it must:
+//!
+//! * cold start — no idle target is available yet;
+//! * the target does not support `reset` (the trait default returns
+//!   `false`);
+//! * the previous trial ended in a DUE — a panic may have unwound out of
+//!   mid-`step` kernel code, leaving cursors and scratch state torn, so the
+//!   caller drops the instance instead of releasing it.
+//!
+//! Pooling is invisible in the records: `reset` restores every injectable
+//! byte to the pristine pre-run state, so a pooled campaign is bit-identical
+//! to one that constructs a fresh target per trial (asserted by the
+//! determinism guard in `tests/determinism_guard.rs`).
+
+use crate::target::FaultTarget;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared pool of reusable [`FaultTarget`] instances.
+///
+/// Thread-safe: campaign workers `acquire` and `release` concurrently; each
+/// worker holds at most one target at a time, so the idle list never exceeds
+/// the worker count. Hit/rebuild counts feed both the live telemetry
+/// counters (`pool/hits`, `pool/rebuilds`) and the final
+/// [`obs::CampaignReport`].
+pub struct TargetPool<T, F>
+where
+    F: Fn() -> T,
+{
+    factory: F,
+    idle: parking_lot::Mutex<Vec<T>>,
+    hits: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+impl<T, F> TargetPool<T, F>
+where
+    T: FaultTarget,
+    F: Fn() -> T,
+{
+    pub fn new(factory: F) -> Self {
+        TargetPool { factory, idle: parking_lot::Mutex::new(Vec::new()), hits: AtomicU64::new(0), rebuilds: AtomicU64::new(0) }
+    }
+
+    /// Seeds the idle list with an already-constructed pristine target (e.g.
+    /// the instance built to read `total_steps`), so it is not wasted.
+    pub fn seed(&self, target: T) {
+        self.idle.lock().push(target);
+    }
+
+    /// Returns a pristine target: a pooled instance when one is idle and its
+    /// `reset()` succeeds, a fresh factory build otherwise.
+    pub fn acquire(&self) -> T {
+        // Pop outside the `if let` so the lock is not held across `reset()`.
+        let popped = self.idle.lock().pop();
+        if let Some(mut t) = popped {
+            if t.reset() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::incr("pool/hits", 1);
+                return t;
+            }
+        }
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        obs::incr("pool/rebuilds", 1);
+        (self.factory)()
+    }
+
+    /// Returns a target after a trial. `torn` must be true when the trial
+    /// ended in a DUE: the panic may have unwound out of mid-`step` code, so
+    /// the instance is dropped rather than pooled.
+    pub fn release(&self, target: T, torn: bool) {
+        if !torn {
+            self.idle.lock().push(target);
+        }
+    }
+
+    /// Trials served by an in-place reset.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Trials that built a fresh target (cold start, unsupported reset, or
+    /// post-DUE rebuild).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::Output;
+    use crate::target::{StepOutcome, Variable};
+
+    /// Counts constructions; resettable on demand.
+    struct Probe {
+        resettable: bool,
+        stepped: usize,
+    }
+
+    impl FaultTarget for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn total_steps(&self) -> usize {
+            1
+        }
+        fn steps_executed(&self) -> usize {
+            self.stepped
+        }
+        fn step(&mut self) -> StepOutcome {
+            self.stepped += 1;
+            StepOutcome::Done
+        }
+        fn variables(&mut self) -> Vec<Variable<'_>> {
+            Vec::new()
+        }
+        fn output(&self) -> Output {
+            Output::I32Grid { dims: [1, 1, 1], data: vec![0] }
+        }
+        fn reset(&mut self) -> bool {
+            if self.resettable {
+                self.stepped = 0;
+            }
+            self.resettable
+        }
+    }
+
+    #[test]
+    fn cold_start_rebuilds_then_hits() {
+        let pool = TargetPool::new(|| Probe { resettable: true, stepped: 0 });
+        let t = pool.acquire();
+        assert_eq!((pool.hits(), pool.rebuilds()), (0, 1));
+        pool.release(t, false);
+        let t = pool.acquire();
+        assert_eq!((pool.hits(), pool.rebuilds()), (1, 1));
+        assert_eq!(t.stepped, 0, "reset restored the pristine state");
+    }
+
+    #[test]
+    fn torn_targets_are_dropped_not_pooled() {
+        let pool = TargetPool::new(|| Probe { resettable: true, stepped: 0 });
+        let t = pool.acquire();
+        pool.release(t, true); // DUE: drop
+        pool.acquire();
+        assert_eq!((pool.hits(), pool.rebuilds()), (0, 2));
+    }
+
+    #[test]
+    fn unresettable_targets_always_rebuild() {
+        let pool = TargetPool::new(|| Probe { resettable: false, stepped: 0 });
+        let t = pool.acquire();
+        pool.release(t, false);
+        pool.acquire();
+        assert_eq!((pool.hits(), pool.rebuilds()), (0, 2));
+    }
+
+    #[test]
+    fn seeded_target_is_served_first() {
+        let pool = TargetPool::new(|| Probe { resettable: true, stepped: 0 });
+        pool.seed(Probe { resettable: true, stepped: 1 });
+        let t = pool.acquire();
+        assert_eq!((pool.hits(), pool.rebuilds()), (1, 0));
+        assert_eq!(t.stepped, 0);
+    }
+}

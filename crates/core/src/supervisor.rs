@@ -60,6 +60,18 @@ pub struct TrialConfig {
     /// Watchdog limit as a multiple of the nominal step count (CAROL-FI's
     /// user-defined time limit). 4× mirrors the paper's mean overhead
     /// headroom.
+    ///
+    /// The budget covers the *whole* run: pre-injection steps count against
+    /// `max_steps = ceil(total × factor)` just like post-injection ones.
+    /// This is deliberate, and pinned by a test
+    /// (`late_injection_watchdog_budget_covers_the_whole_run`): CAROL-FI's
+    /// real watchdog is a wall-clock limit on the entire victim execution,
+    /// so a fault injected at step 0.9·N has ≈(factor − 0.9)·N steps of
+    /// headroom, not factor·N — and the fault-free prefix can consume at
+    /// most `total` of the budget, leaving at least (factor − 1)·N after any
+    /// injection point. Charging the factor against post-injection steps
+    /// only would also reclassify some late-window timeout DUEs and break
+    /// bit-identity with every journaled campaign.
     pub watchdog_factor: f64,
 }
 
@@ -79,6 +91,10 @@ pub struct TrialResult {
     pub inject_step: usize,
     /// Steps the run executed before finishing or dying.
     pub executed_steps: usize,
+    /// True when the bitwise fast-path compare alone classified the trial
+    /// (output proven bit-identical without an elementwise scan). Telemetry
+    /// only — never serialized into a [`crate::record::TrialRecord`].
+    pub fast_compare: bool,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> DueCause {
@@ -98,9 +114,26 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> DueCause {
 /// Runs one faulted execution of `target` and classifies it against `golden`.
 ///
 /// The target is constructed by the caller (so beam trials can pre-configure
-/// device state); `run_trial` consumes it.
+/// device state); `run_trial` consumes it. Pooled campaign runners use
+/// [`run_trial_mut`] instead, which borrows the target so it can be
+/// `reset()` and reused.
 pub fn run_trial<T: FaultTarget>(
     mut target: T,
+    golden: &Output,
+    applicator: &mut dyn FaultApplicator,
+    cfg: TrialConfig,
+    rng: &mut StdRng,
+) -> TrialResult {
+    run_trial_mut(&mut target, golden, applicator, cfg, rng)
+}
+
+/// [`run_trial`] over a borrowed target.
+///
+/// The caller keeps ownership, so a pooled target can be `reset()` and
+/// reused for the next trial — unless the outcome was a DUE, after which the
+/// state may be torn mid-`step` and the pool must rebuild via its factory.
+pub fn run_trial_mut<T: FaultTarget>(
+    target: &mut T,
     golden: &Output,
     applicator: &mut dyn FaultApplicator,
     cfg: TrialConfig,
@@ -151,6 +184,7 @@ pub fn run_trial<T: FaultTarget>(
         Some(target.output())
     }));
 
+    let mut fast_compare = false;
     let outcome = match run {
         Err(payload) => {
             let cause = panic_message(payload);
@@ -162,16 +196,26 @@ pub fn run_trial<T: FaultTarget>(
         Ok(None) => TrialOutcome::HardwareMasked,
         Ok(Some(output)) => {
             let _span = obs::span!("compare");
-            let mismatches = output.mismatches(golden);
-            if mismatches.is_empty() {
+            // Fast path: prove bit-identity word-at-a-time before paying for
+            // an elementwise scan. `bits_equal` agrees with `mismatches` on
+            // equality exactly (both compare bit patterns), so the recorded
+            // outcome is unchanged — only the cost of reaching it.
+            if output.bits_equal(golden) {
+                fast_compare = true;
+                obs::incr("compare/fast_path", 1);
                 TrialOutcome::Masked
             } else {
-                TrialOutcome::Sdc(DiffSummary::from_mismatches(&mismatches, output.dims()))
+                let mismatches = output.mismatches(golden);
+                if mismatches.is_empty() {
+                    TrialOutcome::Masked
+                } else {
+                    TrialOutcome::Sdc(DiffSummary::from_mismatches(&mismatches, output.dims()))
+                }
             }
         }
     };
 
-    TrialResult { outcome, injection, inject_step, executed_steps: executed }
+    TrialResult { outcome, injection, inject_step, executed_steps: executed, fast_compare }
 }
 
 #[cfg(test)]
@@ -308,8 +352,10 @@ mod tests {
         let g = golden(16);
         let mut rng = fork(3, 0);
         let res = run_trial(Summer::new(16), &g, &mut PinpointZero, TrialConfig { inject_step: 8, ..Default::default() }, &mut rng);
-        // data[0] = 0.0 already, so zeroing it is bit-identical => Masked.
+        // data[0] = 0.0 already, so zeroing it is bit-identical => Masked,
+        // and the bitwise fast path alone proves it.
         assert_eq!(res.outcome, TrialOutcome::Masked);
+        assert!(res.fast_compare, "masked trials classify via the fast path");
     }
 
     #[test]
@@ -410,6 +456,79 @@ mod tests {
         // identically => Masked is acceptable; what we assert is that the
         // watchdog bound was respected and no hang occurred.
         assert!(res.executed_steps <= 4 * 16 + 1);
+    }
+
+    #[test]
+    fn late_injection_watchdog_budget_covers_the_whole_run() {
+        // Pins the watchdog accounting documented on
+        // `TrialConfig::watchdog_factor`: pre-injection steps are charged
+        // against `max_steps`, mirroring CAROL-FI's whole-run wall-clock
+        // limit. Changing this would reclassify late-window timeout DUEs and
+        // break bit-identity with journaled campaigns.
+        struct Endless {
+            limit: u64,
+            done: usize,
+        }
+        impl FaultTarget for Endless {
+            fn name(&self) -> &'static str {
+                "endless"
+            }
+            fn total_steps(&self) -> usize {
+                16
+            }
+            fn steps_executed(&self) -> usize {
+                self.done
+            }
+            fn step(&mut self) -> StepOutcome {
+                self.done += 1;
+                if (self.done as u64) >= self.limit {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            }
+            fn variables(&mut self) -> Vec<Variable<'_>> {
+                vec![Variable::from_scalar(
+                    VarInfo::local("limit", VarClass::ControlVariable, "loop", 0, file!(), line!()),
+                    &mut self.limit,
+                )]
+            }
+            fn output(&self) -> Output {
+                Output::F64Grid { dims: [1, 1, 1], data: vec![0.0] }
+            }
+        }
+        struct MaxLimit;
+        impl FaultApplicator for MaxLimit {
+            fn apply(&mut self, vars: &mut [Variable<'_>], _: &mut StdRng) -> Option<InjectionDetail> {
+                let v = &mut vars[0];
+                v.bytes.copy_from_slice(&u64::MAX.to_le_bytes());
+                Some(InjectionDetail {
+                    var_name: v.info.name.into(),
+                    var_class: v.info.class,
+                    frame: v.info.frame.label().into(),
+                    thread: v.info.thread,
+                    decl: String::new(),
+                    elem_index: 0,
+                    bits: vec![],
+                    mechanism: "test".into(),
+                })
+            }
+        }
+        let _quiet = crate::panic_guard::silence_panics();
+        let g = Output::F64Grid { dims: [1, 1, 1], data: vec![0.0] };
+        let mut rng = fork(9, 0);
+        let res = run_trial(
+            Endless { limit: 16, done: 0 },
+            &g,
+            &mut MaxLimit,
+            TrialConfig { inject_step: 14, watchdog_factor: 4.0 },
+            &mut rng,
+        );
+        assert_eq!(res.outcome, TrialOutcome::Due(DueCause::Timeout));
+        // Budget is ceil(16 × 4.0) = 64 steps for the whole run: the 14
+        // fault-free steps before the interrupt leave 50 of headroom after
+        // it, not another full 64.
+        assert_eq!(res.executed_steps, 64);
     }
 
     #[test]

@@ -205,6 +205,25 @@ pub trait FaultTarget: Send {
         let total = self.total_steps().max(1);
         (self.steps_executed() as f64 / total as f64).min(1.0)
     }
+
+    /// Restores the target to its pristine pre-run state in place, returning
+    /// `true` on success.
+    ///
+    /// The contract is strict bit-identity: after `reset()` returns `true`,
+    /// stepping the target to completion must produce exactly the output a
+    /// freshly constructed target (same parameters) would — including every
+    /// injectable byte enumerated by [`FaultTarget::variables`], since a
+    /// previous trial may have corrupted any of them. Campaign runners use
+    /// this to reuse one target per worker instead of reconstructing (and
+    /// reallocating) per trial; they fall back to the factory when `reset`
+    /// returns `false`, and always rebuild after a DUE because a panicked
+    /// trial may have left the state torn mid-`step`.
+    ///
+    /// The default returns `false` (no in-place reinitialization available),
+    /// so existing targets keep working — they just don't pool.
+    fn reset(&mut self) -> bool {
+        false
+    }
 }
 
 /// Boxed targets forward the trait, so registries can hand out
@@ -230,6 +249,9 @@ impl FaultTarget for Box<dyn FaultTarget> {
     }
     fn progress(&self) -> f64 {
         self.as_ref().progress()
+    }
+    fn reset(&mut self) -> bool {
+        self.as_mut().reset()
     }
 }
 

@@ -90,6 +90,7 @@ struct Ctrl {
 }
 
 /// The CLAMR fault target.
+#[derive(Clone)]
 pub struct Clamr {
     p: ClamrParams,
     // --- mesh (the paper's "others" portion) ---
@@ -125,6 +126,10 @@ pub struct Clamr {
     total: usize,
     /// Active cell count after each timestep (for the window analysis).
     cell_history: Vec<usize>,
+    /// Pristine snapshot taken at the end of `new()` — *after* the pre-run
+    /// refinement setup, so `reset()` restores the adapted starting mesh
+    /// (its own `pristine` is `None`).
+    pristine: Option<Box<Clamr>>,
 }
 
 impl Clamr {
@@ -191,6 +196,7 @@ impl Clamr {
             done: 0,
             total: p.timesteps * 4,
             cell_history: Vec::new(),
+            pristine: None,
         };
         // Pre-refine around the initial bump so the run starts on a
         // realistic adapted mesh (CLAMR does the same during setup).
@@ -200,6 +206,7 @@ impl Clamr {
             c.compute_gradients();
             c.phase_remesh();
         }
+        c.pristine = Some(Box::new(c.clone()));
         c
     }
 
@@ -599,6 +606,38 @@ impl FaultTarget for Clamr {
             }
         }
         Output::F64Grid { dims: [fine, fine, 1], data: grid }
+    }
+
+    fn reset(&mut self) -> bool {
+        let Some(pristine) = self.pristine.take() else { return false };
+        // Mesh arrays change length as cells refine/coarsen; `clone_from`
+        // truncates/extends in place, reusing each vector's allocation.
+        self.ci.clone_from(&pristine.ci);
+        self.cj.clone_from(&pristine.cj);
+        self.clevel.clone_from(&pristine.clevel);
+        self.h.clone_from(&pristine.h);
+        self.uvel.clone_from(&pristine.uvel);
+        self.vvel.clone_from(&pristine.vvel);
+        self.grad.clone_from(&pristine.grad);
+        self.ncells = pristine.ncells;
+        self.sort_keys.clone_from(&pristine.sort_keys);
+        self.sorted_idx.clone_from(&pristine.sorted_idx);
+        self.sort_scratch.clone_from(&pristine.sort_scratch);
+        self.tree_child.clone_from(&pristine.tree_child);
+        self.tree_cell.clone_from(&pristine.tree_cell);
+        self.dt = pristine.dt;
+        self.gravity = pristine.gravity;
+        self.damping = pristine.damping;
+        self.friction = pristine.friction;
+        self.refine_thresh = pristine.refine_thresh;
+        self.coarsen_thresh = pristine.coarsen_thresh;
+        self.ptr_state = 0;
+        self.raw = pristine.raw;
+        self.ctrl.copy_from_slice(&pristine.ctrl);
+        self.done = 0;
+        self.cell_history.clear();
+        self.pristine = Some(pristine);
+        true
     }
 }
 

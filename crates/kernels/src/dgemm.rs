@@ -80,6 +80,7 @@ struct Ctrl {
 }
 
 /// The DGEMM fault target.
+#[derive(Clone)]
 pub struct Dgemm {
     p: DgemmParams,
     a: Vec<f64>,
@@ -91,6 +92,9 @@ pub struct Dgemm {
     ptr_a: u64,
     done: usize,
     total: usize,
+    /// Pristine pre-run snapshot taken at the end of `new()` (its own
+    /// `pristine` is `None`); `reset()` restores from it in place.
+    pristine: Option<Box<Dgemm>>,
 }
 
 impl Dgemm {
@@ -118,7 +122,9 @@ impl Dgemm {
                 }
             })
             .collect();
-        Dgemm { p, a, b, c: vec![0.0; p.n * p.n], ctrl, ptr_a: 0, done: 0, total: nb }
+        let mut g = Dgemm { p, a, b, c: vec![0.0; p.n * p.n], ctrl, ptr_a: 0, done: 0, total: nb, pristine: None };
+        g.pristine = Some(Box::new(g.clone()));
+        g
     }
 
     /// Reference (unblocked, sequential) product for correctness tests.
@@ -255,6 +261,18 @@ impl FaultTarget for Dgemm {
 
     fn output(&self) -> Output {
         Output::F64Grid { dims: [self.p.n, self.p.n, 1], data: self.c.clone() }
+    }
+
+    fn reset(&mut self) -> bool {
+        let Some(pristine) = self.pristine.take() else { return false };
+        self.a.copy_from_slice(&pristine.a);
+        self.b.copy_from_slice(&pristine.b);
+        self.c.copy_from_slice(&pristine.c);
+        self.ctrl.copy_from_slice(&pristine.ctrl);
+        self.ptr_a = 0;
+        self.done = 0;
+        self.pristine = Some(pristine);
+        true
     }
 }
 

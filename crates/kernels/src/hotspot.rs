@@ -105,6 +105,7 @@ struct Consts {
 }
 
 /// The HotSpot fault target.
+#[derive(Clone)]
 pub struct Hotspot {
     p: HotspotParams,
     t_src: Vec<f32>,
@@ -119,6 +120,9 @@ pub struct Hotspot {
     /// masked, the dominant fate of HotSpot's constant-class injections.
     raw: [f32; 6],
     done: usize,
+    /// Pristine pre-run snapshot taken at the end of `new()` (its own
+    /// `pristine` is `None`); `reset()` restores from it in place.
+    pristine: Option<Box<Hotspot>>,
 }
 
 impl Hotspot {
@@ -161,7 +165,10 @@ impl Hotspot {
                 }
             })
             .collect();
-        Hotspot { p, t_dst: t_src.clone(), t_src, power, consts, ctrl, ptr_temp: 0, raw: [rx, ry, rz, cap, step, max_slope], done: 0 }
+        let mut h =
+            Hotspot { p, t_dst: t_src.clone(), t_src, power, consts, ctrl, ptr_temp: 0, raw: [rx, ry, rz, cap, step, max_slope], done: 0, pristine: None };
+        h.pristine = Some(Box::new(h.clone()));
+        h
     }
 
     /// Sequential reference implementation (one full run) for tests.
@@ -328,6 +335,20 @@ impl FaultTarget for Hotspot {
         // reproduces that comparison granularity.
         let data = self.t_src.iter().map(|&t| crate::quantize::sig6_f32(t)).collect();
         Output::F32Grid { dims: [self.p.rows, self.p.cols, 1], data }
+    }
+
+    fn reset(&mut self) -> bool {
+        let Some(pristine) = self.pristine.take() else { return false };
+        self.t_src.copy_from_slice(&pristine.t_src);
+        self.t_dst.copy_from_slice(&pristine.t_dst);
+        self.power.copy_from_slice(&pristine.power);
+        self.consts = pristine.consts;
+        self.ctrl.copy_from_slice(&pristine.ctrl);
+        self.ptr_temp = 0;
+        self.raw = pristine.raw;
+        self.done = 0;
+        self.pristine = Some(pristine);
+        true
     }
 }
 

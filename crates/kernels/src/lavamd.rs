@@ -91,6 +91,7 @@ struct Ctrl {
 }
 
 /// The LavaMD fault target.
+#[derive(Clone)]
 pub struct Lavamd {
     p: LavamdParams,
     /// Particle positions: 4 floats per particle (x, y, z, pad).
@@ -109,6 +110,9 @@ pub struct Lavamd {
     /// Raw setup parameters, dead after construction (masked targets).
     raw: [f32; 4],
     done: usize,
+    /// Pristine pre-run snapshot taken at the end of `new()` (its own
+    /// `pristine` is `None`); `reset()` restores from it in place.
+    pristine: Option<Box<Lavamd>>,
 }
 
 impl Lavamd {
@@ -151,7 +155,9 @@ impl Lavamd {
                 fz_copy: 0.0,
             })
             .collect();
-        Lavamd { p, rv, qv, fv: vec![0.0; n * 4], a2: A2_DEFAULT, cut2: CUT2_DEFAULT, ctrl, ptr_rv: 0, raw: [A2_DEFAULT.sqrt(), CUT2_DEFAULT.sqrt(), p.nb as f32, p.par_per_box as f32], done: 0 }
+        let mut l = Lavamd { p, rv, qv, fv: vec![0.0; n * 4], a2: A2_DEFAULT, cut2: CUT2_DEFAULT, ctrl, ptr_rv: 0, raw: [A2_DEFAULT.sqrt(), CUT2_DEFAULT.sqrt(), p.nb as f32, p.par_per_box as f32], done: 0, pristine: None };
+        l.pristine = Some(Box::new(l.clone()));
+        l
     }
 
     /// Sequential reference: potentials for every particle, brute force over
@@ -352,6 +358,21 @@ impl FaultTarget for Lavamd {
         let nb = self.p.nb;
         let data = self.fv.iter().map(|&v| crate::quantize::sig6_f32(v)).collect();
         Output::F32Grid { dims: [nb, nb, nb * self.p.par_per_box * 4], data }
+    }
+
+    fn reset(&mut self) -> bool {
+        let Some(pristine) = self.pristine.take() else { return false };
+        self.rv.copy_from_slice(&pristine.rv);
+        self.qv.copy_from_slice(&pristine.qv);
+        self.fv.copy_from_slice(&pristine.fv);
+        self.a2 = pristine.a2;
+        self.cut2 = pristine.cut2;
+        self.ctrl.copy_from_slice(&pristine.ctrl);
+        self.ptr_rv = 0;
+        self.raw = pristine.raw;
+        self.done = 0;
+        self.pristine = Some(pristine);
+        true
     }
 }
 

@@ -72,6 +72,7 @@ enum Phase {
 }
 
 /// The LUD fault target.
+#[derive(Clone)]
 pub struct Lud {
     p: LudParams,
     a: Vec<f32>,
@@ -82,6 +83,9 @@ pub struct Lud {
     ctrl: Vec<Ctrl>,
     done: usize,
     total: usize,
+    /// Pristine pre-run snapshot taken at the end of `new()` (its own
+    /// `pristine` is `None`); `reset()` restores from it in place.
+    pristine: Option<Box<Lud>>,
 }
 
 impl Lud {
@@ -107,7 +111,9 @@ impl Lud {
                 col_scratch: 0,
             })
             .collect();
-        Lud { p, a, d: 0, ptr_m: 0, ctrl, done: 0, total: 3 * nb }
+        let mut l = Lud { p, a, d: 0, ptr_m: 0, ctrl, done: 0, total: 3 * nb, pristine: None };
+        l.pristine = Some(Box::new(l.clone()));
+        l
     }
 
     /// Input matrix of a fresh instance (for verification tests).
@@ -328,6 +334,17 @@ impl FaultTarget for Lud {
 
     fn output(&self) -> Output {
         Output::F32Grid { dims: [self.p.n, self.p.n, 1], data: self.a.clone() }
+    }
+
+    fn reset(&mut self) -> bool {
+        let Some(pristine) = self.pristine.take() else { return false };
+        self.a.copy_from_slice(&pristine.a);
+        self.d = 0;
+        self.ptr_m = 0;
+        self.ctrl.copy_from_slice(&pristine.ctrl);
+        self.done = 0;
+        self.pristine = Some(pristine);
+        true
     }
 }
 

@@ -77,6 +77,7 @@ struct Ctrl {
 }
 
 /// The NW fault target.
+#[derive(Clone)]
 pub struct Nw {
     p: NwParams,
     /// Substitution scores for every DP cell (Rodinia's `reference`).
@@ -103,6 +104,9 @@ pub struct Nw {
     ctrl: Vec<Ctrl>,
     done: usize,
     total: usize,
+    /// Pristine pre-run snapshot taken at the end of `new()` (its own
+    /// `pristine` is `None`); `reset()` restores from it in place.
+    pristine: Option<Box<Nw>>,
 }
 
 /// Deterministic BLOSUM-like substitution matrix: positive diagonal,
@@ -155,7 +159,9 @@ impl Nw {
             })
             .collect();
         // 2·bb − 1 wavefront steps + 1 traceback step.
-        Nw { p, refm, score, penalty: PENALTY, seq1, seq2, path: vec![-1; (2 * p.n + 1) * 3], ptr_score: 0, ptr_ref: 0, ctrl, done: 0, total: 2 * bb - 1 + 1 }
+        let mut nw = Nw { p, refm, score, penalty: PENALTY, seq1, seq2, path: vec![-1; (2 * p.n + 1) * 3], ptr_score: 0, ptr_ref: 0, ctrl, done: 0, total: 2 * bb - 1 + 1, pristine: None };
+        nw.pristine = Some(Box::new(nw.clone()));
+        nw
     }
 
     /// Sequential reference DP fill for correctness tests.
@@ -388,6 +394,22 @@ impl FaultTarget for Nw {
 
     fn output(&self) -> Output {
         Output::I32Grid { dims: [self.path.len() / 3, 3, 1], data: self.path.clone() }
+    }
+
+    fn reset(&mut self) -> bool {
+        let Some(pristine) = self.pristine.take() else { return false };
+        self.refm.copy_from_slice(&pristine.refm);
+        self.score.copy_from_slice(&pristine.score);
+        self.penalty = pristine.penalty;
+        self.seq1.copy_from_slice(&pristine.seq1);
+        self.seq2.copy_from_slice(&pristine.seq2);
+        self.path.copy_from_slice(&pristine.path);
+        self.ptr_score = 0;
+        self.ptr_ref = 0;
+        self.ctrl.copy_from_slice(&pristine.ctrl);
+        self.done = 0;
+        self.pristine = Some(pristine);
+        true
     }
 }
 

@@ -138,6 +138,17 @@ impl<T: FaultTarget> FaultTarget for DwcControls<T> {
     fn output(&self) -> Output {
         self.inner.output()
     }
+
+    fn reset(&mut self) -> bool {
+        // Resettable exactly when the wrapped program is: restore the inner
+        // state, then rebuild the replicas from the restored originals.
+        if !self.inner.reset() {
+            return false;
+        }
+        self.refresh();
+        self.detections = 0;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +198,14 @@ mod tests {
         fn output(&self) -> Output {
             Output::I32Grid { dims: [32, 1, 1], data: self.data.iter().map(|&x| x as i32).collect() }
         }
+        fn reset(&mut self) -> bool {
+            for (i, v) in self.data.iter_mut().enumerate() {
+                *v = i as u64;
+            }
+            self.cursor = 0;
+            self.done = 0;
+            true
+        }
     }
 
     #[test]
@@ -233,6 +252,21 @@ mod tests {
         hardened.inner.data[31] ^= 1 << 20;
         while hardened.step() == StepOutcome::Continue {}
         assert!(!hardened.output().matches(&golden));
+    }
+
+    #[test]
+    fn reset_restores_wrapper_and_replicas() {
+        let mut plain = Toy::new();
+        while plain.step() == StepOutcome::Continue {}
+        let golden = plain.output();
+
+        let mut hardened = DwcControls::new(Toy::new());
+        hardened.step();
+        hardened.shadow[0].bytes[0] ^= 0xff; // corrupt the replica too
+        assert!(hardened.reset(), "wrapper must reset when the inner target does");
+        while hardened.step() == StepOutcome::Continue {}
+        assert!(hardened.output().bits_equal(&golden), "post-reset rerun must match the golden run");
+        assert_eq!(hardened.detections(), 0);
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub struct CampaignReport {
     pub busy_ns: u64,
     /// Watchdog-terminated trials (timeout DUEs).
     pub watchdog_fires: usize,
+    /// Target-pool trials served by an in-place `reset()` instead of a
+    /// fresh factory construction. Zero for cache-loaded reports.
+    pub pool_hits: u64,
+    /// Target-pool trials that built a fresh target (cold start, target
+    /// without reset support, or rebuild after a DUE left state torn).
+    pub pool_rebuilds: u64,
+    /// Trials classified by the chunked bitwise compare alone, without an
+    /// elementwise mismatch scan.
+    pub fast_path_compares: u64,
     /// Outcome counts keyed by caller-chosen labels, sorted by key.
     pub outcomes: Vec<(String, usize)>,
 }
@@ -54,6 +63,17 @@ impl CampaignReport {
     pub fn outcome(&self, key: &str) -> usize {
         self.outcomes.iter().find(|(k, _)| k == key).map_or(0, |&(_, n)| n)
     }
+
+    /// Fraction of pooled acquisitions served by `reset()` instead of a
+    /// factory rebuild, in `[0, 1]`; 0 when the run didn't pool.
+    pub fn pool_reuse(&self) -> f64 {
+        let total = self.pool_hits + self.pool_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -67,6 +87,19 @@ impl fmt::Display for CampaignReport {
             writeln!(f, "  utilization     {:>10.1}%", self.utilization() * 100.0)?;
         }
         writeln!(f, "  watchdog fires  {:>10}", self.watchdog_fires)?;
+        if self.pool_hits + self.pool_rebuilds > 0 {
+            writeln!(
+                f,
+                "  pool reuse      {:>10.1}%  ({} hits, {} rebuilds)",
+                self.pool_reuse() * 100.0,
+                self.pool_hits,
+                self.pool_rebuilds
+            )?;
+        }
+        if self.fast_path_compares > 0 {
+            let pct = if self.trials > 0 { 100.0 * self.fast_path_compares as f64 / self.trials as f64 } else { 0.0 };
+            writeln!(f, "  fast-path cmp   {:>10}  ({:>5.1}% of trials)", self.fast_path_compares, pct)?;
+        }
         if !self.outcomes.is_empty() {
             writeln!(f, "  outcomes")?;
             for (key, n) in &self.outcomes {
@@ -172,5 +205,26 @@ mod tests {
         assert!(s.contains("single/sdc"));
         assert!(s.contains("60.0%"));
         assert!(s.contains("watchdog fires"));
+        // Hot-path gauges stay hidden when the run didn't pool...
+        assert!(!s.contains("pool reuse"));
+        assert!(!s.contains("fast-path cmp"));
+    }
+
+    #[test]
+    fn hot_path_gauges_display_when_present() {
+        let mut r = sample();
+        r.pool_hits = 9;
+        r.pool_rebuilds = 1;
+        r.fast_path_compares = 3;
+        assert!((r.pool_reuse() - 0.9).abs() < 1e-9);
+        let s = r.to_string();
+        assert!(s.contains("pool reuse"), "{s}");
+        assert!(s.contains("9 hits, 1 rebuilds"), "{s}");
+        assert!(s.contains("fast-path cmp"), "{s}");
+    }
+
+    #[test]
+    fn pool_reuse_is_zero_without_pooling() {
+        assert_eq!(sample().pool_reuse(), 0.0);
     }
 }

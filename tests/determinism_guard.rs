@@ -1,0 +1,118 @@
+//! The determinism guard for the trial hot path.
+//!
+//! Target pooling (`FaultTarget::reset` instead of `factory()` per trial)
+//! and the bitwise fast-path compare are pure performance work: they must
+//! not change a single bit of any record. This suite pins that invariant:
+//!
+//! * a pooled campaign at `workers = 1` equals one at `workers = 8` equals a
+//!   hand-rolled factory-per-trial loop, bit for bit in serialized form, for
+//!   every benchmark;
+//! * the fast path (`Output::bits_equal`) agrees with the elementwise
+//!   `mismatches()` scan on *equality* for arbitrary buffers, including NaN
+//!   payloads and signed zeros (proptest).
+
+use phi_reliability::carolfi::campaign::execute_trial;
+use phi_reliability::carolfi::{run_campaign, CampaignConfig, Output, TrialRecord};
+use phi_reliability::kernels::{build, golden, Benchmark, SizeClass};
+use proptest::prelude::*;
+
+fn to_json(records: &[TrialRecord]) -> Vec<String> {
+    records.iter().map(|r| serde_json::to_string(r).expect("record serializes")).collect()
+}
+
+#[test]
+fn pooled_campaigns_are_bit_identical_for_any_worker_count() {
+    for b in Benchmark::ALL {
+        let g = golden(b, SizeClass::Test);
+        let cfg1 = CampaignConfig { trials: 60, seed: 29, workers: 1, n_windows: b.n_windows(), ..Default::default() };
+        let cfg8 = CampaignConfig { workers: 8, ..cfg1.clone() };
+        let one = run_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg1);
+        let eight = run_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg8);
+        assert_eq!(to_json(&one.records), to_json(&eight.records), "{b}: worker count changed the records");
+        assert!(one.report.pool_hits > 0, "{b}: pooling never engaged");
+    }
+}
+
+#[test]
+fn pooled_records_match_a_factory_per_trial_loop() {
+    // The seed's semantics: a fresh `factory()` target per trial. Pooling
+    // must reproduce those records exactly — this is the contract
+    // `FaultTarget::reset` is held to.
+    for b in Benchmark::ALL {
+        let g = golden(b, SizeClass::Test);
+        let cfg = CampaignConfig { trials: 60, seed: 29, workers: 4, n_windows: b.n_windows(), ..Default::default() };
+        let pooled = run_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+
+        let total_steps = build(b, SizeClass::Test).total_steps().max(1);
+        let fresh: Vec<TrialRecord> = (0..cfg.trials)
+            .map(|trial| {
+                let mut target = build(b, SizeClass::Test);
+                execute_trial(b.label(), &mut target, &g, &cfg, total_steps, trial).0
+            })
+            .collect();
+        assert_eq!(to_json(&pooled.records), to_json(&fresh), "{b}: pooling changed the records");
+    }
+}
+
+proptest! {
+    #[test]
+    fn fast_path_equality_agrees_with_mismatch_scan_f64(
+        bits_a in proptest::collection::vec(any::<u64>(), 1..40),
+        flip in any::<bool>(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u32..64,
+    ) {
+        // Arbitrary u64 bit patterns reinterpreted as f64 cover NaN payloads,
+        // infinities, signed zeros and subnormals.
+        let data_a: Vec<f64> = bits_a.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut data_b = data_a.clone();
+        if flip {
+            let i = flip_at % data_b.len();
+            data_b[i] = f64::from_bits(data_b[i].to_bits() ^ (1u64 << flip_bit));
+        }
+        let dims = [data_a.len(), 1, 1];
+        let a = Output::F64Grid { dims, data: data_a };
+        let b = Output::F64Grid { dims, data: data_b };
+        prop_assert_eq!(a.bits_equal(&b), b.mismatches(&a).is_empty());
+        prop_assert_eq!(b.bits_equal(&a), a.mismatches(&b).is_empty());
+    }
+
+    #[test]
+    fn fast_path_equality_agrees_with_mismatch_scan_f32(
+        bits_a in proptest::collection::vec(any::<u32>(), 1..40),
+        flip in any::<bool>(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u32..32,
+    ) {
+        // f32 grids have a 4-byte element, exercising the non-multiple-of-8
+        // tail of the wordwise comparison.
+        let data_a: Vec<f32> = bits_a.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut data_b = data_a.clone();
+        if flip {
+            let i = flip_at % data_b.len();
+            data_b[i] = f32::from_bits(data_b[i].to_bits() ^ (1u32 << flip_bit));
+        }
+        let dims = [data_a.len(), 1, 1];
+        let a = Output::F32Grid { dims, data: data_a };
+        let b = Output::F32Grid { dims, data: data_b };
+        prop_assert_eq!(a.bits_equal(&b), b.mismatches(&a).is_empty());
+    }
+
+    #[test]
+    fn fast_path_equality_agrees_with_mismatch_scan_i32(
+        data_a in proptest::collection::vec(any::<i32>(), 1..40),
+        flip in any::<bool>(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u32..32,
+    ) {
+        let mut data_b = data_a.clone();
+        if flip {
+            let i = flip_at % data_b.len();
+            data_b[i] ^= 1i32 << flip_bit;
+        }
+        let dims = [data_a.len(), 1, 1];
+        let a = Output::I32Grid { dims, data: data_a };
+        let b = Output::I32Grid { dims, data: data_b };
+        prop_assert_eq!(a.bits_equal(&b), b.mismatches(&a).is_empty());
+    }
+}

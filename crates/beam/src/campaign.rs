@@ -276,6 +276,36 @@ where
     (record, mca_event, resource.label(), fast)
 }
 
+/// Synthesises the record of a strike whose worker process died (abort,
+/// fatal signal, wall-clock kill) and was quarantined by the warden.
+///
+/// The strike's identity — struck resource, architectural effect, injection
+/// time, window — is fully determined by the global index, so everything
+/// except the outcome is reproduced exactly as [`execute_strike`] would
+/// have; the outcome becomes the DUE classified from the worker's death.
+/// The mechanism label keeps its `beam:<resource>:<effect>` form, so MCA
+/// reconstruction ([`mca_from_records`]) still sees the strike.
+pub fn synth_due_strike(benchmark: &str, cfg: &BeamConfig, total_steps: usize, strike: usize, kind: DueKind) -> TrialRecord {
+    let mut rng = carolfi::rng::fork(cfg.seed, strike as u64);
+    let (resource, effect) = cfg.engine.strike(&mut rng);
+    let inject_step = rng.gen_range(0..total_steps);
+    let record = TrialRecord {
+        trial: strike,
+        benchmark: benchmark.to_string(),
+        model: None,
+        mechanism: format!("beam:{}:{}", resource.label(), effect.label()),
+        inject_step,
+        total_steps,
+        window: carolfi::campaign::window_of(inject_step, total_steps, cfg.n_windows),
+        n_windows: cfg.n_windows,
+        injection: None,
+        outcome: OutcomeRecord::Due(kind),
+        executed_steps: 0,
+    };
+    obs::incr(outcome_key(&record.outcome), 1);
+    record
+}
+
 /// Rebuilds the [`McaLog`] from journaled strike records: the mechanism
 /// label `beam:<resource>:<effect>` carries exactly what the live campaign
 /// logs (corrected events for `ecc-corrected`, uncorrectable for `ecc-due`).

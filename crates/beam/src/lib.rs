@@ -35,6 +35,6 @@ pub mod flux;
 pub mod orchestrator;
 
 pub use campaign::{run_beam_campaign, BeamCampaign, BeamConfig};
-pub use orchestrator::run_beam_campaign_stored;
+pub use orchestrator::{run_beam_campaign_isolated, run_beam_campaign_stored};
 pub use effects::BeamApplicator;
 pub use flux::{FluxEnvironment, LANSCE_FLUX_HIGH, LANSCE_FLUX_LOW, SEA_LEVEL_FLUX};

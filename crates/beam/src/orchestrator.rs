@@ -10,10 +10,11 @@
 //! by-product — is rebuilt from the journaled mechanism labels on
 //! completion ([`crate::campaign::mca_from_records`]).
 
-use crate::campaign::{execute_strike, mca_from_records, report_for, BeamCampaign, BeamConfig};
-use carolfi::orchestrator::{drive_shards, open_journal, StoreConfig, StoredRun};
+use crate::campaign::{execute_strike, mca_from_records, report_for, synth_due_strike, BeamCampaign, BeamConfig};
+use carolfi::orchestrator::{drive_isolated, drive_shards, open_journal, StoreConfig, StoredRun};
 use carolfi::output::Output;
 use carolfi::target::FaultTarget;
+use carolfi::warden::IsolateConfig;
 use std::sync::atomic::AtomicU64;
 use store::{CampaignMeta, ShardPlan};
 
@@ -73,6 +74,65 @@ where
             report.pool_hits = pool.hits();
             report.pool_rebuilds = pool.rebuilds();
             report.fast_path_compares = fast_compares.into_inner();
+            StoredRun::Complete(BeamCampaign {
+                benchmark: benchmark.to_string(),
+                records,
+                mca,
+                sigma_raw: cfg.sigma_raw,
+                environment: cfg.environment,
+                report,
+            })
+        }
+    })
+}
+
+/// Process-isolated version of [`run_beam_campaign_stored`]: the opt-in
+/// `--isolate` backend for beam campaigns. The calling binary must re-exec
+/// itself in worker mode (see [`carolfi::warden::worker_active`] /
+/// [`carolfi::warden::serve`]) and execute strikes by global index; this
+/// function supervises those workers and journals the results. Worker
+/// deaths are quarantined into deterministic DUE records
+/// ([`crate::campaign::synth_due_strike`]) and the campaign completes.
+///
+/// Journal metadata is identical to [`run_beam_campaign_stored`]'s, so the
+/// two backends can resume each other's journals; `total_steps` is the
+/// victim's step count (the parent never builds a target).
+pub fn run_beam_campaign_isolated(
+    benchmark: &str,
+    total_steps: usize,
+    cfg: &BeamConfig,
+    store_cfg: &StoreConfig,
+    iso: &IsolateConfig,
+) -> std::io::Result<StoredRun<BeamCampaign>> {
+    let total_steps = total_steps.max(1);
+    let wall = std::time::Instant::now();
+    let busy_ns = AtomicU64::new(0);
+
+    let meta = CampaignMeta {
+        kind: "beam".into(),
+        benchmark: benchmark.into(),
+        seed: cfg.seed,
+        trials: cfg.strikes,
+        shards: store_cfg.shards,
+        n_windows: cfg.n_windows,
+        version: store::journal::FORMAT_VERSION,
+    };
+    let (writer, progress, prior) = open_journal(store_cfg, meta)?;
+    let plan = ShardPlan::new(cfg.strikes, store_cfg.shards);
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+
+    let run = drive_isolated(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, iso, |strike, kind| {
+        synth_due_strike(benchmark, cfg, total_steps, strike, kind)
+    })?;
+    Ok(match run {
+        StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
+        StoredRun::Complete(records) => {
+            let mca = mca_from_records(&cfg.engine, &records);
+            let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
             StoredRun::Complete(BeamCampaign {
                 benchmark: benchmark.to_string(),
                 records,
@@ -148,5 +208,74 @@ mod tests {
             assert_eq!(x.outcome, y.outcome);
         }
         assert_eq!(uninterrupted.mca.events(), stored.mca.events());
+    }
+
+    /// Worker entry for the isolated beam test below: when spawned by a
+    /// warden (socket env set) it serves real strike-executions by global
+    /// index, aborting on the scripted strike; as an ordinary test run it
+    /// is a no-op. Spec format: `<mode>,<seed>,<strikes>`.
+    #[test]
+    fn beam_isolated_worker_entry() {
+        let Some(spec) = carolfi::warden::worker_spec() else { return };
+        let mut parts = spec.split(',');
+        let mode = parts.next().unwrap().to_string();
+        let seed: u64 = parts.next().unwrap().parse().unwrap();
+        let strikes: usize = parts.next().unwrap().parse().unwrap();
+        let b = Benchmark::Dgemm;
+        let cfg = BeamConfig { strikes, seed, n_windows: b.n_windows(), ..Default::default() };
+        let g = golden(b, SizeClass::Test);
+        let factory = || build(b, SizeClass::Test);
+        let probe = factory();
+        let total_steps = probe.total_steps().max(1);
+        let pool = carolfi::TargetPool::new(&factory);
+        pool.seed(probe);
+        let abort_on: Option<usize> = mode.strip_prefix("abort-").map(|n| n.parse().unwrap());
+        let result = carolfi::warden::serve(|strike| {
+            if abort_on == Some(strike) {
+                std::process::abort();
+            }
+            execute_strike(b.label(), &pool, &g, &cfg, total_steps, strike).0
+        });
+        std::process::exit(if result.is_ok() { 0 } else { 1 });
+    }
+
+    #[test]
+    fn isolated_beam_campaign_matches_in_process_and_quarantines_deaths() {
+        use carolfi::record::{DueKind, OutcomeRecord};
+        let b = Benchmark::Dgemm;
+        let g = golden(b, SizeClass::Test);
+        let cfg = BeamConfig { strikes: 60, seed: 11, workers: 2, n_windows: b.n_windows(), ..Default::default() };
+        let reference = run_beam_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+        let total_steps = build(b, SizeClass::Test).total_steps().max(1);
+
+        let mut sc = StoreConfig::new(tmp("isolated"));
+        sc.shards = 2;
+        let mut iso = IsolateConfig::new(
+            std::env::current_exe().expect("test binary path"),
+            vec![
+                "orchestrator::tests::beam_isolated_worker_entry".into(),
+                "--exact".into(),
+                "--test-threads=1".into(),
+                "--nocapture".into(),
+            ],
+            format!("abort-7,{},{}", cfg.seed, cfg.strikes),
+        );
+        iso.backoff_base = std::time::Duration::from_millis(1);
+        iso.backoff_cap = std::time::Duration::from_millis(10);
+
+        let stored = run_beam_campaign_isolated(b.label(), total_steps, &cfg, &sc, &iso).unwrap().expect_complete();
+        assert_eq!(stored.records.len(), cfg.strikes);
+        assert_eq!(stored.records[7].outcome, OutcomeRecord::Due(DueKind::Signal { signo: 6 }), "SIGABRT strike");
+        for (x, y) in reference.records.iter().zip(&stored.records) {
+            assert_eq!(x.trial, y.trial);
+            assert_eq!(x.mechanism, y.mechanism, "strike identity is deterministic even for quarantined strikes");
+            assert_eq!(x.inject_step, y.inject_step);
+            if x.trial != 7 {
+                assert_eq!(x.outcome, y.outcome, "strike {}", x.trial);
+            }
+        }
+        // MCA reconstruction rests only on mechanism labels, which survive
+        // quarantine, so it must match the in-process log.
+        assert_eq!(stored.mca.events(), mca_from_records(&cfg.engine, &reference.records).events());
     }
 }

@@ -11,6 +11,9 @@ use sdc_analysis::fit::MachineProjection;
 use sdc_analysis::spatial::{self, SpatialPattern};
 
 fn main() {
+    // Must run before anything else: in `--isolate` worker mode this
+    // process serves trials over the warden socket and never returns.
+    bench::maybe_run_worker();
     let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
     let store = StoreArgs::from_args();

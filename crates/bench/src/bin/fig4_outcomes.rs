@@ -14,6 +14,9 @@ use sdc_analysis::pvf::OutcomeBreakdown;
 use sdc_analysis::stats::normal_margin95;
 
 fn main() {
+    // Must run before anything else: in `--isolate` worker mode this
+    // process serves trials over the warden socket and never returns.
+    bench::maybe_run_worker();
     let cfg = RunConfig::from_env();
     let store = StoreArgs::from_args();
     println!("Figure 4 reproduction — outcomes of fault injections");

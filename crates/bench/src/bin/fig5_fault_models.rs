@@ -36,6 +36,9 @@ fn print_table(kind: PvfKind, corpus: &[(Benchmark, Vec<TrialRecord>)]) {
 }
 
 fn main() {
+    // Must run before anything else: in `--isolate` worker mode this
+    // process serves trials over the warden socket and never returns.
+    bench::maybe_run_worker();
     let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
     let store = StoreArgs::from_args();

@@ -215,6 +215,40 @@ pub fn execute_trial<T: FaultTarget>(
     (record, result.fast_compare)
 }
 
+/// Builds the DUE record for a trial whose worker process died
+/// (quarantined by the warden): the trial's identity fields — fault model,
+/// injection step, time window — replay the exact derivation
+/// [`execute_trial`] performs from the campaign-global index, so the record
+/// slots into the journal indistinguishably from an in-process DUE; only
+/// `injection` (the victim never reported what was corrupted) and
+/// `executed_steps` are unknowable and left empty.
+pub fn synth_due_record(
+    benchmark: &str,
+    cfg: &CampaignConfig,
+    total_steps: usize,
+    trial: usize,
+    kind: DueKind,
+) -> TrialRecord {
+    let mut rng = crate::rng::fork(cfg.seed, trial as u64);
+    let model = cfg.models[trial % cfg.models.len()];
+    let inject_step = rng.gen_range(0..total_steps);
+    let record = TrialRecord {
+        trial,
+        benchmark: benchmark.to_string(),
+        model: Some(model),
+        mechanism: model.label().to_string(),
+        inject_step,
+        total_steps,
+        window: window_of(inject_step, total_steps, cfg.n_windows),
+        n_windows: cfg.n_windows,
+        injection: None,
+        outcome: OutcomeRecord::Due(kind),
+        executed_steps: 0,
+    };
+    obs::incr(outcome_key(model, &record.outcome), 1);
+    record
+}
+
 /// Runs an injection campaign against targets built by `factory`.
 ///
 /// `golden` must be the output of a fault-free run of `factory()`.

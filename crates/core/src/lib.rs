@@ -49,9 +49,11 @@ pub mod rng;
 pub mod select;
 pub mod supervisor;
 pub mod target;
+pub mod warden;
 
 pub use campaign::{run_campaign, Campaign, CampaignConfig};
-pub use orchestrator::{run_campaign_stored, StoreConfig, StoredRun};
+pub use orchestrator::{run_campaign_isolated, run_campaign_stored, StoreConfig, StoredRun};
+pub use warden::{IsolateConfig, IsolatedTrial, Warden};
 pub use fuel::Fuel;
 pub use models::{FaultApplicator, FaultModel, InjectionDetail};
 pub use output::{Mismatch, Output};

@@ -15,8 +15,9 @@
 
 use crate::campaign::{execute_trial, report_for, Campaign, CampaignConfig};
 use crate::output::Output;
-use crate::record::TrialRecord;
+use crate::record::{DueKind, TrialRecord};
 use crate::target::FaultTarget;
+use crate::warden::{IsolateConfig, IsolatedTrial, Warden};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use store::{CampaignMeta, Journal, JournalEntry, JournalWriter, ShardCursor, ShardPlan, ShardProgress, StopFlag};
@@ -130,6 +131,17 @@ pub fn open_journal(
     Ok((writer, progress, prior))
 }
 
+/// Extracts a displayable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Drives the shard queue for a stored campaign: pulls shard tasks, executes
 /// trials via `run_one`, journals each record, checkpoints periodically and
 /// on stop. Returns the per-shard record vectors (prior + new) or the first
@@ -138,6 +150,14 @@ pub fn open_journal(
 /// `run_one(global_trial_index) -> TrialRecord` must be pure in the trial
 /// index (this is what the determinism invariant rests on). Orchestration
 /// plumbing shared with `beamsim`'s stored campaign runner.
+///
+/// Failure containment: a **panic** out of `run_one` (harness bug, warden
+/// infrastructure giving out) fails only its own shard — the shard
+/// checkpoints what it has, records a diagnostic and stops pulling trials,
+/// while sibling shards run to completion and seal. The run then returns an
+/// error naming the failed shards, and a later `resume` continues exactly
+/// from their cursors. **I/O errors** still stop every shard: they signal a
+/// problem with the journal itself, which all shards share.
 #[allow(clippy::too_many_arguments)]
 pub fn drive_shards(
     plan: ShardPlan,
@@ -153,6 +173,7 @@ pub fn drive_shards(
     let spent = AtomicUsize::new(0);
     let journal = parking_lot::Mutex::new(writer);
     let io_error: parking_lot::Mutex<Option<std::io::Error>> = parking_lot::Mutex::new(None);
+    let shard_panics: parking_lot::Mutex<Vec<String>> = parking_lot::Mutex::new(Vec::new());
     let new_records: Vec<parking_lot::Mutex<Vec<TrialRecord>>> = (0..plan.shards).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
 
     let tasks: Vec<usize> = (0..plan.shards)
@@ -177,12 +198,14 @@ pub fn drive_shards(
                 completed: completed as u64,
                 next_stream: (range.start + completed) as u64,
             };
-            let mut j = journal.lock();
-            j.append(&JournalEntry::Checkpoint(cursor))?;
-            if sync {
-                j.sync()?;
-            }
-            Ok(())
+            store::retry_transient(|| {
+                let mut j = journal.lock();
+                j.append(&JournalEntry::Checkpoint(cursor))?;
+                if sync {
+                    j.sync()?;
+                }
+                Ok(())
+            })
         };
         let mut completed = start;
         for (seq, trial) in range.clone().enumerate().skip(start) {
@@ -197,7 +220,26 @@ pub fn drive_shards(
                 return;
             }
             let t0 = std::time::Instant::now();
-            let record = run_one(trial);
+            // A harness panic (as opposed to a victim panic, which the
+            // supervisor converts into a crash DUE long before here) must
+            // not unwind across the scheduler and take sibling shards down:
+            // checkpoint this shard's progress, record the diagnostic, and
+            // let the others seal. The run stays resumable.
+            let record = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(trial))) {
+                Ok(record) => record,
+                Err(payload) => {
+                    obs::incr("shard/panicked", 1);
+                    if completed > start {
+                        if let Err(e) = checkpoint(completed, true) {
+                            fail(e);
+                        }
+                    }
+                    shard_panics
+                        .lock()
+                        .push(format!("shard {shard}: trial {trial}: {}", panic_message(payload.as_ref())));
+                    return;
+                }
+            };
             busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             let payload = match serde_json::to_string(&record) {
                 Ok(p) => p,
@@ -207,7 +249,9 @@ pub fn drive_shards(
                 }
             };
             obs::incr("store/trials", 1);
-            if let Err(e) = journal.lock().append(&JournalEntry::Trial { shard, seq: seq as u64, payload }) {
+            if let Err(e) = store::retry_transient(|| {
+                journal.lock().append(&JournalEntry::Trial { shard, seq: seq as u64, payload: payload.clone() })
+            }) {
                 fail(e);
                 return;
             }
@@ -223,9 +267,11 @@ pub fn drive_shards(
         // Shard range exhausted: seal it.
         let seal = (|| -> std::io::Result<()> {
             checkpoint(completed, false)?;
-            let mut j = journal.lock();
-            j.append(&JournalEntry::ShardDone { shard })?;
-            j.sync()
+            store::retry_transient(|| {
+                let mut j = journal.lock();
+                j.append(&JournalEntry::ShardDone { shard })?;
+                j.sync()
+            })
         })();
         match seal {
             Ok(()) => obs::incr("shard/completed", 1),
@@ -235,6 +281,14 @@ pub fn drive_shards(
 
     if let Some(e) = io_error.lock().take() {
         return Err(e);
+    }
+    let panics = std::mem::take(&mut *shard_panics.lock());
+    if !panics.is_empty() {
+        return Err(std::io::Error::other(format!(
+            "{} shard(s) failed on harness panics (journal is resumable): {}",
+            panics.len(),
+            panics.join("; ")
+        )));
     }
 
     // Merge prior + new per shard; any shard short of its range means the
@@ -323,6 +377,105 @@ where
             report.pool_hits = pool.hits();
             report.pool_rebuilds = pool.rebuilds();
             report.fast_path_compares = fast_compares.into_inner();
+            StoredRun::Complete(Campaign { benchmark: benchmark.to_string(), records, report })
+        }
+    })
+}
+
+/// [`drive_shards`] with process isolation: every trial executes in a child
+/// worker process supervised by a [`Warden`]. Victim deaths (abort, fatal
+/// signal, wall-clock hang) are classified and — after the warden's
+/// crash-loop quarantine threshold — recorded as synthetic DUE records via
+/// `synth(trial, kind)`, so a pathological trial costs bounded wall clock
+/// and the campaign still completes. Warden infrastructure failures
+/// (exhausted spawn retries, socket breakage) panic out of the trial closure
+/// and are contained by [`drive_shards`]' per-shard panic isolation: only
+/// that shard fails, and the run stays resumable.
+///
+/// Wardens are pooled per orchestrator call: a worker process is reused
+/// across trials (and across shards) until it dies.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_isolated(
+    plan: ShardPlan,
+    progress: &ShardProgress,
+    prior: Vec<Vec<TrialRecord>>,
+    writer: JournalWriter,
+    store_cfg: &StoreConfig,
+    workers: usize,
+    busy_ns: &AtomicU64,
+    iso: &IsolateConfig,
+    synth: impl Fn(usize, DueKind) -> TrialRecord + Sync,
+) -> std::io::Result<StoredRun<Vec<TrialRecord>>> {
+    let wardens: parking_lot::Mutex<Vec<Warden>> = parking_lot::Mutex::new(Vec::new());
+    drive_shards(plan, progress, prior, writer, store_cfg, workers, busy_ns, |trial| {
+        let mut warden = match wardens.lock().pop().map(Ok).unwrap_or_else(|| Warden::new(iso.clone())) {
+            Ok(w) => w,
+            Err(e) => panic!("trial {trial}: warden setup failed: {e}"),
+        };
+        match warden.run_trial(trial) {
+            Ok(IsolatedTrial::Completed(record)) => {
+                wardens.lock().push(warden);
+                *record
+            }
+            Ok(IsolatedTrial::Quarantined { kind, .. }) => {
+                // The warden already emitted the diagnostic through telemetry
+                // (`warden/quarantined`, `warden_quarantine` event); here the
+                // death folds into the campaign as a deterministic DUE record.
+                wardens.lock().push(warden);
+                synth(trial, kind)
+            }
+            Err(e) => panic!("trial {trial}: warden infrastructure failed: {e}"),
+        }
+    })
+}
+
+/// Process-isolated version of [`run_campaign_stored`]: the opt-in
+/// `--isolate` backend. The calling binary must re-exec itself in worker
+/// mode (see [`crate::warden::worker_active`] / [`crate::warden::serve`])
+/// and execute trials by global index; this function supervises those
+/// workers and journals the results.
+///
+/// The journal metadata is identical to [`run_campaign_stored`]'s, so a
+/// campaign can be started in-process and resumed isolated (or vice versa),
+/// and for a fixed seed the non-DUE aggregate is bit-identical to the
+/// in-process run. `total_steps` is the victim's step count (the parent
+/// never builds a target, so it cannot probe it).
+pub fn run_campaign_isolated(
+    benchmark: &str,
+    total_steps: usize,
+    cfg: &CampaignConfig,
+    store_cfg: &StoreConfig,
+    iso: &IsolateConfig,
+) -> std::io::Result<StoredRun<Campaign>> {
+    assert!(!cfg.models.is_empty(), "campaign needs at least one fault model");
+    let total_steps = total_steps.max(1);
+    let wall = std::time::Instant::now();
+    let busy_ns = AtomicU64::new(0);
+
+    let meta = CampaignMeta {
+        kind: "inject".into(),
+        benchmark: benchmark.into(),
+        seed: cfg.seed,
+        trials: cfg.trials,
+        shards: store_cfg.shards,
+        n_windows: cfg.n_windows,
+        version: store::journal::FORMAT_VERSION,
+    };
+    let (writer, progress, prior) = open_journal(store_cfg, meta)?;
+    let plan = ShardPlan::new(cfg.trials, store_cfg.shards);
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+
+    let run = drive_isolated(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, iso, |trial, kind| {
+        crate::campaign::synth_due_record(benchmark, cfg, total_steps, trial, kind)
+    })?;
+    Ok(match run {
+        StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
+        StoredRun::Complete(records) => {
+            let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
             StoredRun::Complete(Campaign { benchmark: benchmark.to_string(), records, report })
         }
     })
@@ -484,5 +637,169 @@ mod tests {
         sc.budget = Some(0); // no execution allowed: everything must come from the journal
         let second = run_campaign_stored("victim", Victim::new, &g, &cfg, &sc).unwrap().expect_complete();
         assert_same_records(&first.records, &second.records);
+    }
+
+    #[test]
+    fn harness_panic_fails_only_its_shard_and_the_run_stays_resumable() {
+        let _quiet = crate::panic_guard::silence_panics();
+        let g = golden();
+        let cfg = CampaignConfig { trials: 24, seed: 7, ..Default::default() };
+        let reference = run_campaign("victim", Victim::new, &g, &cfg);
+
+        let mut sc = StoreConfig::new(tmp("panic-shard"));
+        sc.shards = 3;
+        sc.checkpoint_every = 2;
+        let meta = CampaignMeta {
+            kind: "inject".into(),
+            benchmark: "victim".into(),
+            seed: cfg.seed,
+            trials: cfg.trials,
+            shards: sc.shards,
+            n_windows: cfg.n_windows,
+            version: store::journal::FORMAT_VERSION,
+        };
+        let busy = AtomicU64::new(0);
+        let run_real = |trial: usize| {
+            let mut t = Victim::new();
+            execute_trial("victim", &mut t, &g, &cfg, 8, trial).0
+        };
+
+        // First pass: trial 12 (shard 1) hits a harness bug.
+        let (writer, progress, prior) = open_journal(&sc, meta.clone()).unwrap();
+        let err = drive_shards(ShardPlan::new(cfg.trials, sc.shards), &progress, prior, writer, &sc, 3, &busy, |trial| {
+            if trial == 12 {
+                panic!("injected harness bug at trial {trial}");
+            }
+            run_real(trial)
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("shard 1"), "{err}");
+        assert!(err.to_string().contains("injected harness bug"), "{err}");
+
+        // Sibling shards sealed despite the panic; the panicking shard kept
+        // its checkpointed progress and nothing else.
+        sc.resume = true;
+        let (writer, progress, prior) = open_journal(&sc, meta).unwrap();
+        assert!(progress.shards[0].done, "shard 0 must seal despite shard 1's panic");
+        assert!(progress.shards[2].done, "shard 2 must seal despite shard 1's panic");
+        assert!(!progress.shards[1].done);
+        assert_eq!(progress.shards[1].completed, 4, "shard 1 completed trials 8..12 before the panic");
+
+        // Resume finishes the failed shard and the aggregate matches the
+        // uninterrupted in-process run.
+        let records = drive_shards(ShardPlan::new(cfg.trials, sc.shards), &progress, prior, writer, &sc, 3, &busy, run_real)
+            .unwrap()
+            .expect_complete();
+        assert_same_records(&reference.records, &records);
+    }
+
+    /// Worker entry for the isolated-campaign self-exec tests below: when
+    /// spawned by a warden (socket env set) it serves real `Victim` trials
+    /// by global index, with misbehavior scripted by the spec; as an
+    /// ordinary test run it is a no-op.
+    ///
+    /// Spec format: `<mode>,<seed>,<trials>` where `mode` is `plain` or
+    /// `+`-joined directives like `abort-5+hang-9`.
+    #[test]
+    fn isolated_worker_entry() {
+        let Some(spec) = crate::warden::worker_spec() else { return };
+        let mut parts = spec.split(',');
+        let mode = parts.next().unwrap().to_string();
+        let seed: u64 = parts.next().unwrap().parse().unwrap();
+        let trials: usize = parts.next().unwrap().parse().unwrap();
+        let cfg = CampaignConfig { trials, seed, ..Default::default() };
+        let g = golden();
+        let mut abort_on = None;
+        let mut hang_on = None;
+        for directive in mode.split('+') {
+            match directive.split_once('-') {
+                Some(("abort", n)) => abort_on = Some(n.parse::<usize>().unwrap()),
+                Some(("hang", n)) => hang_on = Some(n.parse::<usize>().unwrap()),
+                _ => {}
+            }
+        }
+        let result = crate::warden::serve(|trial| {
+            if abort_on == Some(trial) {
+                std::process::abort();
+            }
+            if hang_on == Some(trial) {
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+            let mut target = Victim::new();
+            execute_trial("victim", &mut target, &g, &cfg, 8, trial).0
+        });
+        std::process::exit(if result.is_ok() { 0 } else { 1 });
+    }
+
+    /// IsolateConfig pointing back at this test binary, filtered down to
+    /// the worker entry above.
+    fn iso_cfg(mode: &str, cfg: &CampaignConfig) -> IsolateConfig {
+        let mut iso = IsolateConfig::new(
+            std::env::current_exe().expect("test binary path"),
+            vec![
+                "orchestrator::tests::isolated_worker_entry".into(),
+                "--exact".into(),
+                "--test-threads=1".into(),
+                "--nocapture".into(),
+            ],
+            format!("{mode},{},{}", cfg.seed, cfg.trials),
+        );
+        iso.backoff_base = std::time::Duration::from_millis(1);
+        iso.backoff_cap = std::time::Duration::from_millis(10);
+        iso
+    }
+
+    #[test]
+    fn isolated_campaign_matches_the_in_process_run() {
+        let g = golden();
+        let cfg = CampaignConfig { trials: 24, seed: 11, workers: 2, ..Default::default() };
+        let reference = run_campaign("victim", Victim::new, &g, &cfg);
+        let mut sc = StoreConfig::new(tmp("isolated-match"));
+        sc.shards = 3;
+        let stored = run_campaign_isolated("victim", 8, &cfg, &sc, &iso_cfg("plain", &cfg)).unwrap().expect_complete();
+        assert_eq!(reference.records.len(), stored.records.len());
+        for (a, b) in reference.records.iter().zip(&stored.records) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "trial {} must be bit-identical across execution backends",
+                a.trial
+            );
+        }
+        assert_eq!(reference.report.outcomes, stored.report.outcomes);
+    }
+
+    #[test]
+    fn crashing_and_hanging_victims_become_dues_and_the_campaign_completes() {
+        use crate::record::OutcomeRecord;
+        let g = golden();
+        let cfg = CampaignConfig { trials: 12, seed: 23, workers: 2, ..Default::default() };
+        let reference = run_campaign("victim", Victim::new, &g, &cfg);
+        let mut sc = StoreConfig::new(tmp("isolated-dues"));
+        sc.shards = 2;
+        let mut iso = iso_cfg("abort-5+hang-9", &cfg);
+        iso.trial_wall = std::time::Duration::from_millis(400);
+        let stored = run_campaign_isolated("victim", 8, &cfg, &sc, &iso).unwrap().expect_complete();
+        assert_eq!(stored.records.len(), 12);
+        assert_eq!(stored.records[5].outcome, OutcomeRecord::Due(DueKind::Signal { signo: 6 }), "SIGABRT victim");
+        assert_eq!(stored.records[9].outcome, OutcomeRecord::Due(DueKind::Killed), "wall-clock-killed victim");
+        for (a, b) in reference.records.iter().zip(&stored.records) {
+            if a.trial == 5 || a.trial == 9 {
+                // Quarantined trials keep their deterministic identity even
+                // though the victim never reported back.
+                assert_eq!(a.model, b.model);
+                assert_eq!(a.inject_step, b.inject_step);
+                assert_eq!(a.window, b.window);
+                continue;
+            }
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "well-behaved trial {} must be bit-identical",
+                a.trial
+            );
+        }
     }
 }

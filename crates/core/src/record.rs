@@ -128,12 +128,79 @@ impl DiffSummary {
 }
 
 /// Why a DUE was declared.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serde is written by hand (matching the derive's externally tagged shape)
+/// so journals can skew across harness versions in both directions:
+///
+/// * **backward**: pre-PR-5 journals carry only `Crash`/`Timeout`, which
+///   this reader still parses bit-identically;
+/// * **forward**: a tag this build does not know (journal written by a
+///   newer harness) decodes as [`DueKind::Unknown`] instead of aborting the
+///   whole parse — the trial stays a DUE, only its sub-classification is
+///   degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DueKind {
     /// The program crashed (panic: out-of-bounds index, arithmetic guard…).
     Crash { message: String },
     /// The watchdog killed a runaway execution.
     Timeout,
+    /// The isolated worker process died on a signal mid-trial (abort,
+    /// segfault, OOM kill) — only produced by the `--isolate` warden.
+    Signal { signo: i32 },
+    /// The warden's wall-clock watchdog SIGKILLed a hung worker.
+    Killed,
+    /// A DUE kind journaled by a newer harness than this reader; `raw`
+    /// preserves the tag so re-serialization stays stable.
+    Unknown { raw: String },
+}
+
+impl Serialize for DueKind {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use serde::__private::Content;
+        let content = match self {
+            DueKind::Crash { message } => Content::Map(vec![(
+                "Crash".to_string(),
+                Content::Map(vec![("message".to_string(), Content::Str(message.clone()))]),
+            )]),
+            DueKind::Timeout => Content::Str("Timeout".to_string()),
+            DueKind::Signal { signo } => Content::Map(vec![(
+                "Signal".to_string(),
+                Content::Map(vec![("signo".to_string(), Content::I64(*signo as i64))]),
+            )]),
+            DueKind::Killed => Content::Str("Killed".to_string()),
+            // Degraded round-trip: an Unknown keeps its original tag (any
+            // payload it once carried is already lost at parse time).
+            DueKind::Unknown { raw } => Content::Str(raw.clone()),
+        };
+        s.serialize_content(content)
+    }
+}
+
+impl serde::__private::FromContent for DueKind {
+    fn from_content(c: &serde::__private::Content) -> Result<Self, serde::__private::ContentError> {
+        use serde::__private::{as_map, enum_parts, field, variant_inner};
+        let (tag, inner) = enum_parts(c)?;
+        match tag {
+            "Crash" => {
+                let m = as_map(variant_inner(inner, "Crash")?)?;
+                Ok(DueKind::Crash { message: field(m, "message")? })
+            }
+            "Timeout" => Ok(DueKind::Timeout),
+            "Signal" => {
+                let m = as_map(variant_inner(inner, "Signal")?)?;
+                Ok(DueKind::Signal { signo: field(m, "signo")? })
+            }
+            "Killed" => Ok(DueKind::Killed),
+            other => Ok(DueKind::Unknown { raw: other.to_string() }),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for DueKind {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.content()?;
+        <DueKind as serde::__private::FromContent>::from_content(&c).map_err(<D::Error as serde::de::Error>::custom)
+    }
 }
 
 /// Classified outcome of one trial (paper §2.1 taxonomy).
@@ -367,5 +434,101 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("bad float tag"), "error should name the problem, got {msg:?}");
         assert!(msg.contains("not-a-float"), "error should echo the bad tag, got {msg:?}");
+    }
+
+    // -- DueKind version-skew suite -------------------------------------
+    //
+    // Journals outlive binaries in both directions: a harness from before
+    // the warden must read post-warden journals (degrading unknown DUE
+    // kinds) and the current harness must read pre-warden journals
+    // bit-identically.
+
+    #[test]
+    fn due_kind_all_variants_roundtrip() {
+        for kind in [
+            DueKind::Crash { message: "index out of bounds".into() },
+            DueKind::Timeout,
+            DueKind::Signal { signo: 6 },
+            DueKind::Signal { signo: 11 },
+            DueKind::Killed,
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: DueKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind, "round-trip through {json}");
+        }
+    }
+
+    #[test]
+    fn due_kind_parses_pre_warden_journal_forms() {
+        // Byte-for-byte the shapes PR-2 journals contain.
+        let crash: DueKind = serde_json::from_str("{\"Crash\":{\"message\":\"boom\"}}").unwrap();
+        assert_eq!(crash, DueKind::Crash { message: "boom".into() });
+        let timeout: DueKind = serde_json::from_str("\"Timeout\"").unwrap();
+        assert_eq!(timeout, DueKind::Timeout);
+    }
+
+    #[test]
+    fn due_kind_serialized_forms_are_stable() {
+        // Old readers key on these exact shapes; pin them.
+        assert_eq!(serde_json::to_string(&DueKind::Timeout).unwrap(), "\"Timeout\"");
+        assert_eq!(serde_json::to_string(&DueKind::Killed).unwrap(), "\"Killed\"");
+        assert_eq!(
+            serde_json::to_string(&DueKind::Signal { signo: 9 }).unwrap(),
+            "{\"Signal\":{\"signo\":9}}"
+        );
+        assert_eq!(
+            serde_json::to_string(&DueKind::Crash { message: "m".into() }).unwrap(),
+            "{\"Crash\":{\"message\":\"m\"}}"
+        );
+    }
+
+    #[test]
+    fn due_kind_unknown_tag_degrades_instead_of_aborting() {
+        // A unit-shaped tag from a future harness version.
+        let unit: DueKind = serde_json::from_str("\"Evaporated\"").unwrap();
+        assert_eq!(unit, DueKind::Unknown { raw: "Evaporated".into() });
+        // A payload-carrying tag: the payload is dropped, the tag kept.
+        let payload: DueKind = serde_json::from_str("{\"Hyperspace\":{\"depth\":3}}").unwrap();
+        assert_eq!(payload, DueKind::Unknown { raw: "Hyperspace".into() });
+        // Degraded values re-serialize to their tag and re-parse stably, so
+        // a rewrite of an old journal does not oscillate.
+        let json = serde_json::to_string(&payload).unwrap();
+        assert_eq!(json, "\"Hyperspace\"");
+        let again: DueKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(again, payload);
+    }
+
+    #[test]
+    fn record_with_future_due_kind_still_parses_as_a_due() {
+        // An entire TrialRecord written by a newer harness: the outcome
+        // stays a DUE (counts, fractions and figure aggregation all keep
+        // working), only the kind is degraded.
+        let json = "{\"trial\":0,\"benchmark\":\"nw\",\"model\":null,\"mechanism\":\"single\",\
+                    \"inject_step\":1,\"total_steps\":4,\"window\":0,\"n_windows\":4,\
+                    \"injection\":null,\"outcome\":{\"Due\":\"Vaporized\"},\"executed_steps\":0}";
+        let rec: TrialRecord = serde_json::from_str(json).unwrap();
+        assert!(rec.outcome.is_due());
+        assert_eq!(rec.outcome, OutcomeRecord::Due(DueKind::Unknown { raw: "Vaporized".into() }));
+    }
+
+    #[test]
+    fn record_with_signal_due_roundtrips_through_the_log_format() {
+        let rec = TrialRecord {
+            trial: 7,
+            benchmark: "lud".into(),
+            model: Some(FaultModel::Random),
+            mechanism: "random".into(),
+            inject_step: 3,
+            total_steps: 9,
+            window: 1,
+            n_windows: 4,
+            injection: None,
+            outcome: OutcomeRecord::Due(DueKind::Signal { signo: 6 }),
+            executed_steps: 0,
+        };
+        let mut buf = Vec::new();
+        write_log(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        let back = read_log(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back[0].outcome, OutcomeRecord::Due(DueKind::Signal { signo: 6 }));
     }
 }

@@ -1,0 +1,736 @@
+//! Process-isolated trial execution: the **warden**.
+//!
+//! CAROL-FI (paper §5.1) runs every victim as a separate process under GDB
+//! and kills it on a wall-clock limit, so a victim that aborts, blows its
+//! stack or gets OOM-killed never takes the injector down. The in-process
+//! supervisor emulates that with `catch_unwind`, which survives panics but
+//! nothing harder. This module restores the real architecture, ZOFI-style:
+//!
+//! * The campaign binary re-execs **itself** in a worker mode (selected by
+//!   the [`SOCKET_ENV`] environment variable, conventionally alongside a
+//!   `--warden-worker` argv marker). The worker connects back to the
+//!   parent over a Unix socket, receives `Run { trial }` requests, executes
+//!   trials with the exact same `execute_trial` code path as the in-process
+//!   backend, and streams [`TrialRecord`]s back over a length-prefixed
+//!   frame protocol, with a heartbeat thread ticking while a trial runs.
+//! * The parent-side [`Warden`] supervises one worker: it spawns it on
+//!   demand, imposes a **wall-clock** deadline per trial (complementing the
+//!   in-worker step-budget watchdog, which corrupted control flow can
+//!   evade), SIGKILLs the worker on expiry, and classifies worker death
+//!   from the exit status — death by signal becomes
+//!   [`DueKind::Signal`], a warden kill becomes [`DueKind::Killed`].
+//! * Failure policy: *victim-death* (signal / non-zero exit / wall-clock
+//!   kill) retries the trial in a fresh worker until
+//!   [`IsolateConfig::quarantine_after`] consecutive deaths **quarantine**
+//!   it — the trial is recorded as a DUE with a diagnostic and the campaign
+//!   moves on. *Infra-death* (spawn failure, clean mid-protocol exit,
+//!   protocol corruption) retries with capped exponential backoff and
+//!   surfaces an error only once [`IsolateConfig::infra_retries`] is
+//!   exhausted. Backoff schedules are deterministic (no wall clock, no OS
+//!   entropy) so a reproduced failure reproduces its recovery.
+//!
+//! Telemetry: `warden/spawned`, `warden/killed`, `warden/retries`,
+//! `warden/quarantined` counters and a `trial_wall` span per trial.
+
+use crate::record::{DueKind, TrialRecord};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::process::ExitStatusExt;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Environment variable carrying the parent's socket path; its presence is
+/// what switches a re-exec'd binary into worker mode.
+pub const SOCKET_ENV: &str = "PHI_WARDEN_SOCKET";
+
+/// Environment variable carrying the campaign spec (opaque to this module:
+/// the embedding binary encodes whatever it needs to rebuild `run_one`).
+pub const SPEC_ENV: &str = "PHI_WARDEN_SPEC";
+
+/// Frames larger than this are protocol corruption, not data.
+const MAX_FRAME: usize = 16 << 20;
+
+/// Heartbeat period while a trial is executing.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(25);
+
+/// How long a freshly spawned worker gets to connect back.
+const SPAWN_WAIT: Duration = Duration::from_secs(10);
+
+/// How long after a broken pipe we wait for the worker's exit status before
+/// declaring it unreapable and killing it.
+const REAP_GRACE: Duration = Duration::from_secs(2);
+
+/// Parent → worker protocol frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Execute one trial (campaign-global index) and reply with `Record`.
+    Run { trial: u64 },
+    /// Drain and exit cleanly.
+    Shutdown,
+}
+
+/// Worker → parent protocol frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// First frame after connecting.
+    Hello { pid: u32 },
+    /// Liveness tick while `trial` is executing.
+    Heartbeat { trial: u64 },
+    /// One finished trial; `payload` is the serialized [`TrialRecord`]
+    /// exactly as the worker's `execute_trial` produced it.
+    Record { trial: u64, payload: String },
+}
+
+fn other(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::other(msg.into())
+}
+
+/// Writes one length-prefixed JSON frame (4-byte LE length, then bytes).
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string(msg).map_err(std::io::Error::other)?;
+    if json.len() > MAX_FRAME {
+        return Err(other(format!("frame of {} bytes exceeds the {MAX_FRAME}-byte cap", json.len())));
+    }
+    w.write_all(&(json.len() as u32).to_le_bytes())?;
+    w.write_all(json.as_bytes())?;
+    w.flush()
+}
+
+fn parse_frame<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> std::io::Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| other(format!("frame is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| other(format!("bad frame {text:?}: {e}")))
+}
+
+/// Reads exactly `buf.len()` bytes, polling with short read timeouts so the
+/// absolute `deadline` is honored even while bytes trickle in. EOF is
+/// `UnexpectedEof`; deadline expiry is `TimedOut`.
+fn read_exact_deadline(s: &mut UnixStream, buf: &mut [u8], deadline: Instant) -> std::io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "wall-clock deadline expired"));
+        }
+        s.set_read_timeout(Some((deadline - now).min(Duration::from_millis(50))))?;
+        match s.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "worker closed the stream"))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame with an absolute deadline.
+fn read_frame_deadline<T: for<'de> Deserialize<'de>>(s: &mut UnixStream, deadline: Instant) -> std::io::Result<T> {
+    let mut len = [0u8; 4];
+    read_exact_deadline(s, &mut len, deadline)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(other(format!("frame length {len} exceeds the {MAX_FRAME}-byte cap")));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_deadline(s, &mut body, deadline)?;
+    parse_frame(&body)
+}
+
+/// Blocking frame read for the worker side (the parent owns all deadlines).
+fn read_frame_blocking<T: for<'de> Deserialize<'de>>(s: &mut UnixStream) -> std::io::Result<T> {
+    s.set_read_timeout(None)?;
+    let mut len = [0u8; 4];
+    read_exact_blocking(s, &mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(other(format!("frame length {len} exceeds the {MAX_FRAME}-byte cap")));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_blocking(s, &mut body)?;
+    parse_frame(&body)
+}
+
+fn read_exact_blocking(s: &mut UnixStream, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match s.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "parent closed the stream"))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parent side.
+
+/// How to spawn and supervise worker processes.
+#[derive(Debug, Clone)]
+pub struct IsolateConfig {
+    /// Worker executable (normally `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Arguments for the worker invocation (e.g. `["--warden-worker"]`, or
+    /// a libtest filter in self-exec tests). Worker mode itself is selected
+    /// by [`SOCKET_ENV`], not by argv.
+    pub args: Vec<String>,
+    /// Opaque campaign spec handed to the worker via [`SPEC_ENV`].
+    pub spec: String,
+    /// Wall-clock budget per trial; expiry SIGKILLs the worker and records
+    /// the trial as [`DueKind::Killed`] (after retries/quarantine policy).
+    pub trial_wall: Duration,
+    /// Consecutive worker deaths on one trial before it is quarantined.
+    pub quarantine_after: u32,
+    /// Infra-level failures (spawn error, protocol breakdown) tolerated per
+    /// trial before the error is surfaced and the shard fails.
+    pub infra_retries: u32,
+    /// Base and cap of the exponential retry backoff.
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+}
+
+impl IsolateConfig {
+    /// Config with production defaults for a self-re-exec of `program`.
+    pub fn new(program: PathBuf, args: Vec<String>, spec: String) -> Self {
+        IsolateConfig {
+            program,
+            args,
+            spec,
+            trial_wall: Duration::from_secs(30),
+            quarantine_after: 2,
+            infra_retries: 4,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+
+    /// Retry delay for `attempt` (0-based) of `trial`: capped exponential
+    /// growth plus deterministic per-(trial, attempt) jitter, so concurrent
+    /// shards retrying the same condition de-synchronize without consulting
+    /// a clock or entropy source (which would break reproducibility).
+    pub fn backoff(&self, trial: usize, attempt: u32) -> Duration {
+        let base_ms = self.backoff_base.as_millis().max(1) as u64;
+        let cap_ms = self.backoff_cap.as_millis().max(1) as u64;
+        let exp_ms = base_ms.saturating_mul(1u64 << attempt.min(16));
+        let hash = (trial as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let jitter_ms = hash % base_ms;
+        Duration::from_millis(exp_ms.min(cap_ms) + jitter_ms)
+    }
+}
+
+/// Outcome of one isolated trial, after the retry/quarantine policy ran.
+#[derive(Debug)]
+pub enum IsolatedTrial {
+    /// The worker returned a record (bit-identical to what the in-process
+    /// backend would have produced for this trial).
+    Completed(Box<TrialRecord>),
+    /// The trial killed its worker [`IsolateConfig::quarantine_after`]
+    /// times in a row; the caller should journal a synthesized DUE record
+    /// carrying `kind` and keep the campaign going.
+    Quarantined { kind: DueKind, diagnostic: String },
+}
+
+/// How one execution attempt died.
+enum Death {
+    /// The victim (or something in its process) is at fault: counts toward
+    /// quarantine and becomes the trial's DUE kind.
+    Victim { kind: DueKind, diag: String },
+    /// The harness plumbing is at fault: retried with backoff, then
+    /// surfaced as an I/O error (failing the shard, not the campaign).
+    Infra(String),
+}
+
+struct WorkerConn {
+    child: Child,
+    stream: UnixStream,
+}
+
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Supervises one worker process. One warden per orchestrator thread;
+/// workers are reused across trials and respawned on demand after a death.
+pub struct Warden {
+    cfg: IsolateConfig,
+    listener: UnixListener,
+    socket_path: PathBuf,
+    worker: Option<WorkerConn>,
+}
+
+impl Warden {
+    /// Binds the rendezvous socket; the first trial spawns the worker.
+    pub fn new(cfg: IsolateConfig) -> std::io::Result<Self> {
+        let seq = SOCKET_SEQ.fetch_add(1, Ordering::Relaxed);
+        let socket_path = std::env::temp_dir().join(format!("phi-warden-{}-{}.sock", std::process::id(), seq));
+        let _ = std::fs::remove_file(&socket_path);
+        let listener = UnixListener::bind(&socket_path)?;
+        listener.set_nonblocking(true)?; // accept() is polled under a deadline
+        Ok(Warden { cfg, listener, socket_path, worker: None })
+    }
+
+    /// Runs one trial to a final verdict, applying the full watchdog /
+    /// retry / quarantine policy. `Err` means infrastructure gave out — the
+    /// caller should fail its shard (the journal stays resumable).
+    pub fn run_trial(&mut self, trial: usize) -> std::io::Result<IsolatedTrial> {
+        let _span = obs::span!("trial_wall");
+        let mut deaths: Vec<String> = Vec::new();
+        let mut infra = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt_trial(trial) {
+                Ok(record) => return Ok(IsolatedTrial::Completed(Box::new(record))),
+                Err(Death::Victim { kind, diag }) => {
+                    deaths.push(diag);
+                    if deaths.len() as u32 >= self.cfg.quarantine_after {
+                        obs::incr("warden/quarantined", 1);
+                        let diagnostic = format!(
+                            "trial {trial} quarantined after {} consecutive worker deaths: {}",
+                            deaths.len(),
+                            deaths.join("; ")
+                        );
+                        if obs::enabled() {
+                            obs::event("warden_quarantine", &format!("{{\"trial\":{trial},\"deaths\":{}}}", deaths.len()));
+                        }
+                        return Ok(IsolatedTrial::Quarantined { kind, diagnostic });
+                    }
+                }
+                Err(Death::Infra(msg)) => {
+                    infra += 1;
+                    if infra > self.cfg.infra_retries {
+                        return Err(other(format!(
+                            "trial {trial}: {infra} infrastructure failures, giving up; last: {msg}"
+                        )));
+                    }
+                }
+            }
+            obs::incr("warden/retries", 1);
+            std::thread::sleep(self.cfg.backoff(trial, attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Asks the warden's worker to shut down cleanly (best effort; dropping
+    /// the warden kills whatever is left).
+    pub fn shutdown(&mut self) {
+        if let Some(mut w) = self.worker.take() {
+            let _ = write_frame(&mut w.stream, &Request::Shutdown);
+            if wait_with_grace(&mut w.child, Duration::from_millis(500)).is_none() {
+                let _ = w.child.kill();
+                let _ = w.child.wait();
+            }
+        }
+    }
+
+    /// One execution attempt: ensure a live worker, send `Run`, pump frames
+    /// until a record arrives or the wall clock runs out.
+    fn attempt_trial(&mut self, trial: usize) -> Result<TrialRecord, Death> {
+        if self.worker.is_none() {
+            self.spawn_worker().map_err(|e| Death::Infra(format!("spawn worker: {e}")))?;
+        }
+        let deadline = Instant::now() + self.cfg.trial_wall;
+        let w = self.worker.as_mut().expect("worker just ensured");
+        if let Err(e) = write_frame(&mut w.stream, &Request::Run { trial: trial as u64 }) {
+            return Err(self.reap(format!("trial {trial}: sending Run failed: {e}")));
+        }
+        loop {
+            let w = self.worker.as_mut().expect("worker alive while pumping frames");
+            match read_frame_deadline::<Reply>(&mut w.stream, deadline) {
+                Ok(Reply::Heartbeat { .. }) | Ok(Reply::Hello { .. }) => continue,
+                Ok(Reply::Record { trial: got, payload }) => {
+                    if got != trial as u64 {
+                        return Err(self.reap(format!("trial {trial}: worker answered trial {got}")));
+                    }
+                    let record: TrialRecord = match serde_json::from_str(&payload) {
+                        Ok(r) => r,
+                        Err(e) => return Err(self.reap(format!("trial {trial}: unparseable record: {e}"))),
+                    };
+                    if record.trial != trial {
+                        return Err(self.reap(format!(
+                            "trial {trial}: record payload carries trial {}",
+                            record.trial
+                        )));
+                    }
+                    return Ok(record);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                    // Wall-clock expiry: the complement of the in-worker
+                    // step-budget watchdog, for hangs that never step.
+                    self.kill_worker();
+                    return Err(Death::Victim {
+                        kind: DueKind::Killed,
+                        diag: format!(
+                            "trial {trial}: exceeded the {:?} wall clock; worker killed",
+                            self.cfg.trial_wall
+                        ),
+                    });
+                }
+                Err(e) => return Err(self.reap(format!("trial {trial}: stream broke: {e}"))),
+            }
+        }
+    }
+
+    /// Spawns a fresh worker and waits for it to connect and say Hello.
+    fn spawn_worker(&mut self) -> std::io::Result<()> {
+        let mut child = Command::new(&self.cfg.program)
+            .args(&self.cfg.args)
+            .env(SOCKET_ENV, &self.socket_path)
+            .env(SPEC_ENV, &self.cfg.spec)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null()) // worker stdout must never pollute figure output
+            .spawn()?;
+        let deadline = Instant::now() + SPAWN_WAIT;
+        let mut stream = loop {
+            match self.listener.accept() {
+                Ok((s, _)) => break s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(other(format!("worker died before connecting: {status}")));
+                    }
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(other("worker did not connect within the spawn deadline"));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(e);
+                }
+            }
+        };
+        stream.set_nonblocking(false)?;
+        match read_frame_deadline::<Reply>(&mut stream, deadline)? {
+            Reply::Hello { .. } => {}
+            otherwise => return Err(other(format!("worker's first frame was not Hello: {otherwise:?}"))),
+        }
+        obs::incr("warden/spawned", 1);
+        self.worker = Some(WorkerConn { child, stream });
+        Ok(())
+    }
+
+    /// SIGKILLs the current worker (wall-clock expiry).
+    fn kill_worker(&mut self) {
+        if let Some(mut w) = self.worker.take() {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+            obs::incr("warden/killed", 1);
+        }
+    }
+
+    /// The stream to the worker broke: classify its death from the exit
+    /// status. Signals and non-zero exits are the victim's doing (they
+    /// count toward quarantine); a clean exit or an unreapable child is an
+    /// infrastructure failure.
+    fn reap(&mut self, context: String) -> Death {
+        let Some(mut w) = self.worker.take() else {
+            return Death::Infra(context);
+        };
+        match wait_with_grace(&mut w.child, REAP_GRACE) {
+            Some(status) => classify_exit(status, context),
+            None => {
+                // Still alive after breaking the protocol: put it down.
+                let _ = w.child.kill();
+                let _ = w.child.wait();
+                obs::incr("warden/killed", 1);
+                Death::Infra(format!("{context}; worker killed after protocol breakdown"))
+            }
+        }
+    }
+}
+
+impl Drop for Warden {
+    fn drop(&mut self) {
+        self.shutdown();
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+/// Maps a dead worker's exit status onto the failure taxonomy.
+fn classify_exit(status: ExitStatus, context: String) -> Death {
+    if let Some(signo) = status.signal() {
+        Death::Victim {
+            kind: DueKind::Signal { signo },
+            diag: format!("{context}; worker died on signal {signo}"),
+        }
+    } else if status.code() == Some(0) {
+        // A clean exit mid-protocol is a harness bug, not victim behavior.
+        Death::Infra(format!("{context}; worker exited cleanly mid-protocol"))
+    } else {
+        Death::Victim {
+            kind: DueKind::Crash { message: format!("worker exited with {status} mid-trial") },
+            diag: format!("{context}; worker exited with {status}"),
+        }
+    }
+}
+
+/// Polls `try_wait` until `grace` expires.
+fn wait_with_grace(child: &mut Child, grace: Duration) -> Option<ExitStatus> {
+    let deadline = Instant::now() + grace;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Some(status),
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(2)),
+            _ => return None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+/// True when this process was spawned as a warden worker. Embedding
+/// binaries call this first thing in `main` and divert into their worker
+/// entry instead of running the figure.
+pub fn worker_active() -> bool {
+    std::env::var_os(SOCKET_ENV).is_some()
+}
+
+/// The opaque campaign spec, when running as a worker.
+pub fn worker_spec() -> Option<String> {
+    worker_active().then(|| std::env::var(SPEC_ENV).unwrap_or_default())
+}
+
+/// Worker main loop: connect back to the parent, answer `Run` requests via
+/// `run_one` (the embedder rebuilds the campaign's trial closure from the
+/// spec), stream records, heartbeat while executing. Returns when the
+/// parent shuts the stream down. Victim panics are silenced exactly as in
+/// in-process campaigns; anything harder (abort, runaway loop) takes the
+/// worker down, which is the point — the parent classifies the corpse.
+pub fn serve(mut run_one: impl FnMut(usize) -> TrialRecord) -> std::io::Result<()> {
+    let path = std::env::var(SOCKET_ENV).map_err(|_| other(format!("{SOCKET_ENV} is not set")))?;
+    let mut reader = UnixStream::connect(&path)?;
+    let writer = Arc::new(parking_lot::Mutex::new(reader.try_clone()?));
+    let _quiet = crate::panic_guard::silence_panics();
+    write_frame(&mut *writer.lock(), &Reply::Hello { pid: std::process::id() })?;
+
+    // Heartbeat thread: ticks while a trial is in flight (u64::MAX = idle).
+    let current = Arc::new(AtomicU64::new(u64::MAX));
+    let done = Arc::new(AtomicBool::new(false));
+    let hb = {
+        let writer = writer.clone();
+        let current = current.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(HEARTBEAT_EVERY);
+                let trial = current.load(Ordering::Relaxed);
+                if trial != u64::MAX
+                    && write_frame(&mut *writer.lock(), &Reply::Heartbeat { trial }).is_err()
+                {
+                    break; // parent is gone; the main loop will notice too
+                }
+            }
+        })
+    };
+
+    let result = loop {
+        let request: Request = match read_frame_blocking(&mut reader) {
+            Ok(r) => r,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        match request {
+            Request::Shutdown => break Ok(()),
+            Request::Run { trial } => {
+                current.store(trial, Ordering::Relaxed);
+                let record = run_one(trial as usize);
+                current.store(u64::MAX, Ordering::Relaxed);
+                let payload = match serde_json::to_string(&record) {
+                    Ok(p) => p,
+                    Err(e) => break Err(other(format!("serialize record for trial {trial}: {e}"))),
+                };
+                if let Err(e) = write_frame(&mut *writer.lock(), &Reply::Record { trial, payload }) {
+                    break Err(e);
+                }
+            }
+        }
+    };
+    done.store(true, Ordering::Relaxed);
+    let _ = hb.join();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::OutcomeRecord;
+
+    /// A synthetic, deterministic record (no real victim needed to exercise
+    /// the transport and supervision machinery).
+    fn mk_record(trial: usize) -> TrialRecord {
+        TrialRecord {
+            trial,
+            benchmark: "warden-test".into(),
+            model: None,
+            mechanism: format!("synthetic-{trial}"),
+            inject_step: trial % 7,
+            total_steps: 7,
+            window: 0,
+            n_windows: 1,
+            injection: None,
+            outcome: OutcomeRecord::Masked,
+            executed_steps: 7,
+        }
+    }
+
+    /// Worker entry for the self-exec tests: when spawned by a parent test
+    /// (socket env set) it serves trials whose behavior is scripted by the
+    /// spec; as an ordinary test run it is a no-op.
+    #[test]
+    fn warden_worker_entry() {
+        let Some(spec) = worker_spec() else { return };
+        let result = serve(|trial| {
+            match (spec.as_str(), trial) {
+                ("abort-on-5", 5) => std::process::abort(),
+                ("exit-on-4", 4) => std::process::exit(17),
+                ("hang-on-3", 3) => loop {
+                    std::thread::sleep(Duration::from_millis(20));
+                },
+                _ => {}
+            }
+            mk_record(trial)
+        });
+        std::process::exit(if result.is_ok() { 0 } else { 1 });
+    }
+
+    /// IsolateConfig pointing back at this test binary, filtered down to
+    /// the worker entry above.
+    fn iso(spec: &str) -> IsolateConfig {
+        let mut cfg = IsolateConfig::new(
+            std::env::current_exe().expect("test binary path"),
+            vec![
+                "warden::tests::warden_worker_entry".into(),
+                "--exact".into(),
+                "--test-threads=1".into(),
+                "--nocapture".into(),
+            ],
+            spec.into(),
+        );
+        cfg.backoff_base = Duration::from_millis(1);
+        cfg.backoff_cap = Duration::from_millis(10);
+        cfg
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_socketpair() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        let msg = Reply::Record { trial: 12, payload: "{\"x\":1}".into() };
+        write_frame(&mut a, &msg).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        let back: Reply = read_frame_deadline(&mut b, deadline).unwrap();
+        assert_eq!(back, msg);
+        // Requests too.
+        write_frame(&mut b, &Request::Run { trial: 3 }).unwrap();
+        let req: Request = read_frame_blocking(&mut a).unwrap();
+        assert_eq!(req, Request::Run { trial: 3 });
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_rejected_not_allocated() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        let err = read_frame_deadline::<Reply>(&mut b, Instant::now() + Duration::from_secs(1)).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let cfg = iso("ok");
+        for trial in [0usize, 7, 123] {
+            for attempt in 0..40 {
+                let a = cfg.backoff(trial, attempt);
+                assert_eq!(a, cfg.backoff(trial, attempt), "backoff must be a pure function");
+                assert!(
+                    a <= cfg.backoff_cap + cfg.backoff_base,
+                    "trial {trial} attempt {attempt}: {a:?} above cap+jitter bound"
+                );
+            }
+        }
+        assert!(cfg.backoff(0, 0) < cfg.backoff(0, 6), "backoff should grow before the cap");
+    }
+
+    #[test]
+    fn records_roundtrip_through_a_worker_process() {
+        let mut w = Warden::new(iso("ok")).unwrap();
+        for trial in [0usize, 1, 9, 40] {
+            match w.run_trial(trial).unwrap() {
+                IsolatedTrial::Completed(rec) => {
+                    assert_eq!(
+                        serde_json::to_string(&*rec).unwrap(),
+                        serde_json::to_string(&mk_record(trial)).unwrap(),
+                        "trial {trial} must come back bit-identical"
+                    );
+                }
+                IsolatedTrial::Quarantined { diagnostic, .. } => {
+                    panic!("healthy trial {trial} quarantined: {diagnostic}")
+                }
+            }
+        }
+        w.shutdown();
+    }
+
+    #[test]
+    fn aborting_victim_is_quarantined_as_a_signal_due() {
+        let mut w = Warden::new(iso("abort-on-5")).unwrap();
+        match w.run_trial(5).unwrap() {
+            IsolatedTrial::Quarantined { kind, diagnostic } => {
+                assert_eq!(kind, DueKind::Signal { signo: 6 }, "SIGABRT is signal 6");
+                assert!(diagnostic.contains("trial 5"), "{diagnostic}");
+                assert!(diagnostic.contains("signal 6"), "{diagnostic}");
+            }
+            IsolatedTrial::Completed(r) => panic!("aborting trial completed: {r:?}"),
+        }
+        // The campaign goes on: the next trial respawns a worker and runs.
+        match w.run_trial(6).unwrap() {
+            IsolatedTrial::Completed(rec) => assert_eq!(rec.trial, 6),
+            IsolatedTrial::Quarantined { diagnostic, .. } => panic!("trial 6 quarantined: {diagnostic}"),
+        }
+    }
+
+    #[test]
+    fn exiting_victim_is_quarantined_as_a_crash_due() {
+        let mut w = Warden::new(iso("exit-on-4")).unwrap();
+        match w.run_trial(4).unwrap() {
+            IsolatedTrial::Quarantined { kind, .. } => match kind {
+                DueKind::Crash { message } => assert!(message.contains("17"), "{message}"),
+                other => panic!("expected Crash, got {other:?}"),
+            },
+            IsolatedTrial::Completed(r) => panic!("exiting trial completed: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn hung_victim_is_wall_clock_killed() {
+        let mut cfg = iso("hang-on-3");
+        cfg.trial_wall = Duration::from_millis(400);
+        let mut w = Warden::new(cfg).unwrap();
+        match w.run_trial(3).unwrap() {
+            IsolatedTrial::Quarantined { kind, diagnostic } => {
+                assert_eq!(kind, DueKind::Killed);
+                assert!(diagnostic.contains("wall clock"), "{diagnostic}");
+            }
+            IsolatedTrial::Completed(r) => panic!("hung trial completed: {r:?}"),
+        }
+        // Healthy trials still finish comfortably inside the short wall.
+        match w.run_trial(0).unwrap() {
+            IsolatedTrial::Completed(rec) => assert_eq!(rec.trial, 0),
+            IsolatedTrial::Quarantined { diagnostic, .. } => panic!("trial 0 quarantined: {diagnostic}"),
+        }
+        w.shutdown();
+    }
+}

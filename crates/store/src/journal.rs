@@ -30,6 +30,47 @@ use std::path::{Path, PathBuf};
 /// Journal format version, embedded in [`CampaignMeta`].
 pub const FORMAT_VERSION: u32 = 1;
 
+/// Transient-I/O retry budget: how many times one journal operation is
+/// re-attempted before its error is surfaced to the orchestrator (which
+/// then fails the shard).
+pub const MAX_TRANSIENT_RETRIES: u32 = 5;
+
+/// True for I/O errors worth retrying in place: the kernel asked us to try
+/// again, nothing is known to be wrong with the journal itself.
+pub fn is_transient(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock)
+}
+
+/// Capped exponential backoff with deterministic jitter for transient
+/// journal errors. No wall clock and no OS entropy go into the schedule —
+/// a campaign's retry timing is a pure function of the attempt number, so
+/// reproducing a failure reproduces its recovery too. The jitter term
+/// de-synchronizes shards that trip over the same transient condition.
+pub fn transient_backoff(attempt: u32) -> std::time::Duration {
+    let base_ms = 1u64 << attempt.min(5); // 1,2,4,8,16,32 ms — capped
+    let jitter_ms = (attempt as u64).wrapping_mul(0x9E37_79B9) >> 29; // 0..8 ms, deterministic
+    std::time::Duration::from_millis((base_ms + jitter_ms).min(50))
+}
+
+/// Runs `op`, retrying transient failures ([`is_transient`]) up to
+/// [`MAX_TRANSIENT_RETRIES`] times with [`transient_backoff`] sleeps in
+/// between. Every retry increments the `store/retries` counter. The first
+/// non-transient error — or a transient one that outlives the budget — is
+/// returned as-is.
+pub fn retry_transient<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Err(e) if is_transient(&e) && attempt < MAX_TRANSIENT_RETRIES => {
+                obs::incr("store/retries", 1);
+                std::thread::sleep(transient_backoff(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Rotation threshold: appends that push a segment past this many bytes
 /// close it and open the next one.
 pub const SEGMENT_BYTES: u64 = 8 << 20;
@@ -281,8 +322,12 @@ impl JournalWriter {
             obs::incr("store/segments", 1);
         }
         let line = encode_line(entry)?;
-        self.file.write_all(&line)?;
-        self.file.flush()?;
+        // Transient kernel refusals retry in place instead of failing the
+        // shard. `write_all` resumes partial EINTR writes internally, and
+        // the regular files journals live on refuse whole writes (not line
+        // prefixes) on EAGAIN, so a retried line never duplicates bytes.
+        retry_transient(|| self.file.write_all(&line))?;
+        retry_transient(|| self.file.flush())?;
         self.segment_bytes += line.len() as u64;
         obs::incr("store/appends", 1);
         if matches!(entry, JournalEntry::Checkpoint(_)) {
@@ -295,7 +340,7 @@ impl JournalWriter {
     /// checkpoints; per-append flushes already bound process-crash loss.
     pub fn sync(&mut self) -> std::io::Result<()> {
         let _span = obs::span!("store.sync");
-        self.file.sync_data()
+        retry_transient(|| self.file.sync_data())
     }
 }
 
@@ -427,5 +472,56 @@ mod tests {
         let dir = tmp("never-created");
         assert!(Journal::scan(&dir).is_err());
         assert!(!Journal::exists(&dir));
+    }
+
+    #[test]
+    fn retry_transient_recovers_from_bounded_interruptions() {
+        let mut failures = 3;
+        let out = retry_transient(|| {
+            if failures > 0 {
+                failures -= 1;
+                Err(std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    fn retry_transient_gives_up_after_the_budget() {
+        let mut attempts = 0u32;
+        let err = retry_transient(|| -> std::io::Result<()> {
+            attempts += 1;
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "EAGAIN"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert_eq!(attempts, MAX_TRANSIENT_RETRIES + 1, "initial try plus the retry budget");
+    }
+
+    #[test]
+    fn retry_transient_passes_real_errors_through_immediately() {
+        let mut attempts = 0u32;
+        let err = retry_transient(|| -> std::io::Result<()> {
+            attempts += 1;
+            Err(std::io::Error::new(std::io::ErrorKind::PermissionDenied, "EACCES"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+        assert_eq!(attempts, 1, "non-transient errors must not burn retries");
+    }
+
+    #[test]
+    fn transient_backoff_is_deterministic_and_capped() {
+        for attempt in 0..64 {
+            let a = transient_backoff(attempt);
+            let b = transient_backoff(attempt);
+            assert_eq!(a, b, "attempt {attempt}: backoff must be a pure function");
+            assert!(a <= std::time::Duration::from_millis(50), "attempt {attempt}: {a:?} exceeds the cap");
+        }
+        assert!(transient_backoff(0) < transient_backoff(4), "backoff should grow before the cap");
     }
 }

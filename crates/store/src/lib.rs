@@ -29,7 +29,7 @@ pub mod journal;
 pub mod queue;
 pub mod shard;
 
-pub use journal::{CampaignMeta, Journal, JournalEntry, JournalScan, JournalWriter, ShardCursor};
+pub use journal::{is_transient, retry_transient, CampaignMeta, Journal, JournalEntry, JournalScan, JournalWriter, ShardCursor};
 pub use queue::{run_tasks, StopFlag};
 pub use shard::{ShardPlan, ShardProgress, ShardState};
 

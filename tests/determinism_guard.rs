@@ -12,9 +12,12 @@
 //!   payloads and signed zeros (proptest).
 
 use phi_reliability::carolfi::campaign::execute_trial;
-use phi_reliability::carolfi::{run_campaign, CampaignConfig, Output, TrialRecord};
+use phi_reliability::carolfi::{
+    run_campaign, run_campaign_isolated, CampaignConfig, FaultTarget, IsolateConfig, Output, StoreConfig, TrialRecord,
+};
 use phi_reliability::kernels::{build, golden, Benchmark, SizeClass};
 use proptest::prelude::*;
+use std::path::PathBuf;
 
 fn to_json(records: &[TrialRecord]) -> Vec<String> {
     records.iter().map(|r| serde_json::to_string(r).expect("record serializes")).collect()
@@ -51,6 +54,57 @@ fn pooled_records_match_a_factory_per_trial_loop() {
             })
             .collect();
         assert_eq!(to_json(&pooled.records), to_json(&fresh), "{b}: pooling changed the records");
+    }
+}
+
+/// Worker entry for the isolated-campaign pin below: when this test binary
+/// is re-exec'd by a warden (socket env set) it serves real kernel trials by
+/// global index; in an ordinary test run it is a no-op. Spec format (CSV,
+/// since this crate keeps records opaque): `<benchmark>,<seed>,<trials>`.
+#[test]
+fn isolated_worker_entry() {
+    let Some(spec) = phi_reliability::carolfi::warden::worker_spec() else { return };
+    let mut parts = spec.split(',');
+    let label = parts.next().expect("spec benchmark").to_string();
+    let seed: u64 = parts.next().expect("spec seed").parse().expect("spec seed");
+    let trials: usize = parts.next().expect("spec trials").parse().expect("spec trials");
+    let b = Benchmark::from_label(&label).expect("spec names a known benchmark");
+    let cfg = CampaignConfig { trials, seed, n_windows: b.n_windows(), ..Default::default() };
+    let g = golden(b, SizeClass::Test);
+    let total_steps = build(b, SizeClass::Test).total_steps().max(1);
+    let result = phi_reliability::carolfi::warden::serve(|trial| {
+        let mut target = build(b, SizeClass::Test);
+        execute_trial(b.label(), &mut target, &g, &cfg, total_steps, trial).0
+    });
+    std::process::exit(if result.is_ok() { 0 } else { 1 });
+}
+
+#[test]
+fn isolated_campaigns_are_bit_identical_to_in_process() {
+    // Process isolation (`--isolate`) is pure supervision: for well-behaved
+    // victims not a single bit of any record may change — the same contract
+    // pooling and the fast-path compare are held to above.
+    for b in [Benchmark::Hotspot, Benchmark::Dgemm] {
+        let g = golden(b, SizeClass::Test);
+        let cfg = CampaignConfig { trials: 40, seed: 29, workers: 2, n_windows: b.n_windows(), ..Default::default() };
+        let in_process = run_campaign(b.label(), || build(b, SizeClass::Test), &g, &cfg);
+
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/test-determinism-isolated").join(b.label());
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sc = StoreConfig::new(dir);
+        sc.shards = 2;
+        let mut iso = IsolateConfig::new(
+            std::env::current_exe().expect("test binary path"),
+            vec!["isolated_worker_entry".into(), "--exact".into(), "--test-threads=1".into(), "--nocapture".into()],
+            format!("{},{},{}", b.label(), cfg.seed, cfg.trials),
+        );
+        iso.backoff_base = std::time::Duration::from_millis(1);
+        iso.backoff_cap = std::time::Duration::from_millis(10);
+        let total_steps = build(b, SizeClass::Test).total_steps().max(1);
+        let isolated = run_campaign_isolated(b.label(), total_steps, &cfg, &sc, &iso)
+            .expect("isolated campaign runs")
+            .expect_complete();
+        assert_eq!(to_json(&in_process.records), to_json(&isolated.records), "{b}: process isolation changed the records");
     }
 }
 

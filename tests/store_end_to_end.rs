@@ -3,8 +3,12 @@
 //! bit-identically to the plain single-shot run, no matter how many shards
 //! it uses or how often it is killed and resumed along the way.
 
+use phi_reliability::carolfi::campaign::execute_trial;
 use phi_reliability::carolfi::record::TrialRecord;
-use phi_reliability::carolfi::{run_campaign, run_campaign_stored, CampaignConfig, StoreConfig, StoredRun};
+use phi_reliability::carolfi::{
+    run_campaign, run_campaign_isolated, run_campaign_stored, CampaignConfig, FaultTarget, IsolateConfig, StoreConfig,
+    StoredRun,
+};
 use phi_reliability::kernels::{build, golden, Benchmark, SizeClass};
 use phi_reliability::store::{Journal, JournalEntry};
 use std::path::PathBuf;
@@ -99,6 +103,128 @@ fn resuming_a_complete_campaign_reruns_nothing() {
     assert_same_records(&first.records, &second.records);
     let rescan = Journal::scan(&dir).unwrap();
     assert_eq!(rescan.entries.len(), scan.entries.len(), "no new entries on a no-op resume");
+}
+
+// --- SIGKILL + resume round trip for the process-isolated backend ----------
+//
+// Three processes cooperate, all of them this test binary:
+//  * the outer test spawns a child running `kill_resume_child_entry`
+//    (selected by env var), waits for the journal to accumulate trials and
+//    SIGKILLs it mid-campaign;
+//  * the child supervises an isolated campaign whose warden re-execs the
+//    binary a third time as `kill_resume_worker_entry` (selected by the
+//    warden socket env), with a per-trial sleep so the kill reliably lands
+//    mid-run;
+//  * the outer test then resumes the campaign in-process (isolated again)
+//    and pins the aggregate against an uninterrupted in-memory run.
+
+const KR_BENCH: Benchmark = Benchmark::Hotspot;
+const KR_TRIALS: usize = 80;
+const KR_SEED: u64 = 77;
+const KR_SLEEP_MS: u64 = 4;
+const KR_DIR_ENV: &str = "PHI_TEST_KILL_RESUME_DIR";
+
+fn kr_cfg() -> CampaignConfig {
+    CampaignConfig { trials: KR_TRIALS, seed: KR_SEED, workers: 2, n_windows: KR_BENCH.n_windows(), ..Default::default() }
+}
+
+fn kr_iso() -> IsolateConfig {
+    let mut iso = IsolateConfig::new(
+        std::env::current_exe().expect("test binary path"),
+        vec!["kill_resume_worker_entry".into(), "--exact".into(), "--test-threads=1".into(), "--nocapture".into()],
+        String::new(),
+    );
+    iso.backoff_base = std::time::Duration::from_millis(1);
+    iso.backoff_cap = std::time::Duration::from_millis(10);
+    iso
+}
+
+/// Warden worker: serves paced kernel trials (no-op in an ordinary run).
+#[test]
+fn kill_resume_worker_entry() {
+    if !phi_reliability::carolfi::warden::worker_active() {
+        return;
+    }
+    let cfg = kr_cfg();
+    let g = golden(KR_BENCH, SizeClass::Test);
+    let total_steps = build(KR_BENCH, SizeClass::Test).total_steps().max(1);
+    let result = phi_reliability::carolfi::warden::serve(|trial| {
+        // Pace the campaign so the outer test's SIGKILL lands mid-run.
+        std::thread::sleep(std::time::Duration::from_millis(KR_SLEEP_MS));
+        let mut target = build(KR_BENCH, SizeClass::Test);
+        execute_trial(KR_BENCH.label(), &mut target, &g, &cfg, total_steps, trial).0
+    });
+    std::process::exit(if result.is_ok() { 0 } else { 1 });
+}
+
+/// Victim of the SIGKILL: supervises the isolated campaign (no-op unless
+/// spawned by the outer test with the journal dir in the environment).
+#[test]
+fn kill_resume_child_entry() {
+    let Some(dir) = std::env::var_os(KR_DIR_ENV) else { return };
+    let mut sc = StoreConfig::new(PathBuf::from(dir));
+    sc.shards = 2;
+    sc.checkpoint_every = 4;
+    let total_steps = build(KR_BENCH, SizeClass::Test).total_steps().max(1);
+    run_campaign_isolated(KR_BENCH.label(), total_steps, &kr_cfg(), &sc, &kr_iso()).expect("child campaign");
+}
+
+#[test]
+fn sigkilled_isolated_campaign_resumes_bit_identically() {
+    let uninterrupted = {
+        let g = golden(KR_BENCH, SizeClass::Test);
+        run_campaign(KR_BENCH.label(), || build(KR_BENCH, SizeClass::Test), &g, &kr_cfg())
+    };
+    let dir = tmp("kill-resume-isolated");
+
+    let mut child = std::process::Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["kill_resume_child_entry", "--exact", "--test-threads=1", "--nocapture"])
+        .env(KR_DIR_ENV, &dir)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child campaign");
+
+    // Wait until the journal holds a meaningful prefix, then SIGKILL the
+    // supervisor mid-campaign. The per-trial pacing keeps the campaign far
+    // from done at that point.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let journaled = loop {
+        assert!(std::time::Instant::now() < deadline, "child campaign never journaled any trials");
+        if let Ok(status) = child.try_wait() {
+            assert!(status.is_none(), "child campaign finished before it could be killed; increase KR_TRIALS");
+        }
+        let trials = Journal::scan(&dir)
+            .map(|s| s.entries.iter().filter(|e| matches!(e, JournalEntry::Trial { .. })).count())
+            .unwrap_or(0);
+        if trials >= 8 {
+            break trials;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    child.kill().expect("SIGKILL child");
+    let _ = child.wait();
+    assert!(journaled < KR_TRIALS, "kill landed after the campaign finished");
+
+    // Resume the same journal, isolated again, from this process. The
+    // aggregate must be bit-identical to the uninterrupted in-memory run —
+    // the SIGKILL cost at most the in-flight (unjournaled) trials.
+    let mut sc = StoreConfig::new(dir);
+    sc.shards = 2;
+    sc.checkpoint_every = 4;
+    sc.resume = true;
+    let total_steps = build(KR_BENCH, SizeClass::Test).total_steps().max(1);
+    let resumed = run_campaign_isolated(KR_BENCH.label(), total_steps, &kr_cfg(), &sc, &kr_iso())
+        .expect("resume after SIGKILL")
+        .expect_complete();
+    assert_eq!(uninterrupted.records.len(), resumed.records.len());
+    for (x, y) in uninterrupted.records.iter().zip(&resumed.records) {
+        assert_eq!(
+            serde_json::to_string(x).unwrap(),
+            serde_json::to_string(y).unwrap(),
+            "trial {} differs after kill+resume",
+            x.trial
+        );
+    }
 }
 
 #[test]

@@ -222,6 +222,35 @@ where
     T: FaultTarget,
     F: Fn() -> T,
 {
+    execute_strike_attempt(benchmark, pool, golden, cfg, total_steps, strike, 0, true)
+}
+
+/// [`execute_strike`] with explicit retry-attempt telemetry tagging, used by
+/// isolated worker processes:
+///
+/// * `attempt > 0` marks a warden re-run of a strike whose earlier attempt
+///   died (kill, hang, torn reply); the record event is emitted as
+///   `strike_retry` carrying the attempt index, so log consumers can tell
+///   re-executions from first runs.
+/// * `count_outcomes: false` skips the outcome-class counter increment; the
+///   supervisor counts the winning record exactly once per strike index
+///   instead, so retries never double-count. Strike identity and the record
+///   are unaffected — the flags only shape telemetry.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_strike_attempt<T, F>(
+    benchmark: &str,
+    pool: &TargetPool<T, F>,
+    golden: &Output,
+    cfg: &BeamConfig,
+    total_steps: usize,
+    strike: usize,
+    attempt: u32,
+    count_outcomes: bool,
+) -> (TrialRecord, Option<McaSeverity>, &'static str, bool)
+where
+    T: FaultTarget,
+    F: Fn() -> T,
+{
     let mut rng = carolfi::rng::fork(cfg.seed, strike as u64);
     let (resource, effect) = cfg.engine.strike(&mut rng);
     let inject_step = rng.gen_range(0..total_steps);
@@ -267,10 +296,16 @@ where
         outcome,
         executed_steps: executed,
     };
-    obs::incr(outcome_key(&record.outcome), 1);
+    if count_outcomes {
+        obs::incr(outcome_key(&record.outcome), 1);
+    }
     if obs::enabled() {
         if let Ok(json) = serde_json::to_string(&record) {
-            obs::event("strike", &json);
+            if attempt == 0 {
+                obs::event("strike", &json);
+            } else {
+                obs::event("strike_retry", &format!("{{\"attempt\":{attempt},\"record\":{json}}}"));
+            }
         }
     }
     (record, mca_event, resource.label(), fast)

@@ -10,7 +10,7 @@
 //! by-product — is rebuilt from the journaled mechanism labels on
 //! completion ([`crate::campaign::mca_from_records`]).
 
-use crate::campaign::{execute_strike, mca_from_records, report_for, synth_due_strike, BeamCampaign, BeamConfig};
+use crate::campaign::{execute_strike, mca_from_records, outcome_key, report_for, synth_due_strike, BeamCampaign, BeamConfig};
 use carolfi::orchestrator::{drive_isolated, drive_shards, open_journal, StoreConfig, StoredRun};
 use carolfi::output::Output;
 use carolfi::target::FaultTarget;
@@ -53,6 +53,7 @@ where
     };
     let (writer, progress, prior) = open_journal(store_cfg, meta)?;
     let plan = ShardPlan::new(cfg.strikes, store_cfg.shards);
+    carolfi::monitor::begin_campaign(benchmark, "beam", &plan, &progress);
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -69,6 +70,7 @@ where
     Ok(match run {
         StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
         StoredRun::Complete(records) => {
+            carolfi::monitor::complete_campaign();
             let mca = mca_from_records(&cfg.engine, &records);
             let mut report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
             report.pool_hits = pool.hits();
@@ -119,18 +121,29 @@ pub fn run_beam_campaign_isolated(
     };
     let (writer, progress, prior) = open_journal(store_cfg, meta)?;
     let plan = ShardPlan::new(cfg.strikes, store_cfg.shards);
+    carolfi::monitor::begin_campaign(benchmark, "beam", &plan, &progress);
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         cfg.workers
     };
 
-    let run = drive_isolated(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, iso, |strike, kind| {
-        synth_due_strike(benchmark, cfg, total_steps, strike, kind)
-    })?;
+    let run = drive_isolated(
+        plan,
+        &progress,
+        prior,
+        writer,
+        store_cfg,
+        workers,
+        &busy_ns,
+        iso,
+        |strike, kind| synth_due_strike(benchmark, cfg, total_steps, strike, kind),
+        |record| Some(outcome_key(&record.outcome)),
+    )?;
     Ok(match run {
         StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
         StoredRun::Complete(records) => {
+            carolfi::monitor::complete_campaign();
             let mca = mca_from_records(&cfg.engine, &records);
             let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
             StoredRun::Complete(BeamCampaign {
@@ -230,11 +243,11 @@ mod tests {
         let pool = carolfi::TargetPool::new(&factory);
         pool.seed(probe);
         let abort_on: Option<usize> = mode.strip_prefix("abort-").map(|n| n.parse().unwrap());
-        let result = carolfi::warden::serve(|strike| {
+        let result = carolfi::warden::serve(|strike, attempt| {
             if abort_on == Some(strike) {
                 std::process::abort();
             }
-            execute_strike(b.label(), &pool, &g, &cfg, total_steps, strike).0
+            crate::campaign::execute_strike_attempt(b.label(), &pool, &g, &cfg, total_steps, strike, attempt, false).0
         });
         std::process::exit(if result.is_ok() { 0 } else { 1 });
     }

@@ -17,6 +17,7 @@ fn main() {
     let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
     let store = StoreArgs::from_args();
+    bench::monitor_from_args(&store);
     println!("Figure 2 reproduction — SDC/DUE FIT and spatial distribution (sea level)");
     println!("strikes/benchmark = {}, size = {:?}, seed = {}\n", cfg.strikes, cfg.size, cfg.seed);
     println!(

@@ -6,7 +6,9 @@
 //!
 //! With `--store <dir>` the campaigns run sharded against a durable
 //! journal and can be interrupted and resumed (`--resume`); see
-//! README "Resumable campaigns".
+//! README "Resumable campaigns". `--telemetry` prints the counter/span
+//! footer (merged across `--isolate` workers); `--monitor <socket>` serves
+//! live status for `phi-top` (README "Live monitoring").
 
 use bench::{injection_records_stored, rule, RunConfig, StoreArgs};
 use kernels::Benchmark;
@@ -17,8 +19,10 @@ fn main() {
     // Must run before anything else: in `--isolate` worker mode this
     // process serves trials over the warden socket and never returns.
     bench::maybe_run_worker();
+    let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
     let store = StoreArgs::from_args();
+    bench::monitor_from_args(&store);
     println!("Figure 4 reproduction — outcomes of fault injections");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
     println!("{:9} {:>9} {:>9} {:>9} {:>12}", "bench", "masked%", "SDC%", "DUE%", "±95% (worst)");
@@ -32,4 +36,5 @@ fn main() {
     rule(54);
     println!("\nPaper shape targets: majority masked for every benchmark except DGEMM (≈40%);");
     println!("LavaMD the most masked (≈85%); CLAMR & HotSpot ≈75%; LUD & NW balanced SDC/DUE.");
+    bench::print_telemetry(telemetry);
 }

@@ -42,6 +42,7 @@ fn main() {
     let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
     let store = StoreArgs::from_args();
+    bench::monitor_from_args(&store);
     println!("Figures 5a/5b reproduction — fault-model PVFs");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
     // One campaign per benchmark, shared by both tables and the telemetry

@@ -36,8 +36,10 @@ fn main() {
     // Must run before anything else: in `--isolate` worker mode this
     // process serves trials over the warden socket and never returns.
     bench::maybe_run_worker();
+    let telemetry = bench::telemetry_from_args();
     let cfg = RunConfig::from_env();
     let store = StoreArgs::from_args();
+    bench::monitor_from_args(&store);
     println!("Figures 6a/6b reproduction — time-window PVFs");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
     // One campaign per benchmark, shared by both tables (a journal-backed
@@ -49,4 +51,5 @@ fn main() {
     println!("Paper shape targets: DGEMM SDC flat across windows with DUE lower at the start;");
     println!("CLAMR most sensitive around window 3 (active-cell maximum); LUD most critical");
     println!("mid-run; NW DUE lower in the first window while the wavefront is still small.");
+    bench::print_telemetry(telemetry);
 }

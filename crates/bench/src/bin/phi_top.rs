@@ -1,0 +1,218 @@
+//! `phi-top` — live status viewer for a running campaign.
+//!
+//! Connects to the Unix socket a figure binary opened with
+//! `--monitor <socket>` and renders its [`StatusSnapshot`] stream as a
+//! per-shard progress table (done/total, trials/s, ETA, outcome mix, warden
+//! worker health), refreshing in place like `top`. Alternatively reads the
+//! durable `heartbeat.json` a store-backed run leaves behind (`--file`),
+//! which also works post-mortem on a SIGKILLed campaign.
+//!
+//! ```text
+//! phi-top <socket> [--interval <ms>]   # live, refreshing table
+//! phi-top <socket> --once [--json]     # one snapshot, table or raw JSON
+//! phi-top --file <heartbeat.json> [--once] [--json]
+//! ```
+//!
+//! Exits 0 when the campaign reports `finished`, 1 on connection or parse
+//! failures, 2 on usage errors.
+
+use carolfi::monitor::{MonitorRequest, StatusSnapshot};
+use carolfi::warden::{read_frame_blocking, write_frame};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+struct TopArgs {
+    socket: Option<PathBuf>,
+    file: Option<PathBuf>,
+    once: bool,
+    json: bool,
+    interval_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: phi-top <socket> [--once] [--json] [--interval <ms>]");
+    eprintln!("       phi-top --file <heartbeat.json> [--once] [--json] [--interval <ms>]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> TopArgs {
+    let mut out = TopArgs { socket: None, file: None, once: false, json: false, interval_ms: 500 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => out.once = true,
+            "--json" => out.json = true,
+            "--file" => match it.next() {
+                Some(p) => out.file = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--interval" => match it.next().and_then(|raw| raw.trim().parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => out.interval_ms = ms,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && out.socket.is_none() => out.socket = Some(PathBuf::from(other)),
+            _ => usage(),
+        }
+    }
+    if out.socket.is_some() == out.file.is_some() {
+        usage(); // exactly one source
+    }
+    out
+}
+
+fn fatal(msg: String) -> ! {
+    eprintln!("phi-top: {msg}");
+    std::process::exit(1);
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!("{:.0}h{:02.0}m", (secs / 3600.0).floor(), (secs % 3600.0) / 60.0)
+    } else if secs >= 60.0 {
+        format!("{:.0}m{:02.0}s", (secs / 60.0).floor(), secs % 60.0)
+    } else {
+        format!("{secs:.1}s")
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render(s: &StatusSnapshot, clear: bool) {
+    let mut out = String::new();
+    if clear {
+        out.push_str("\x1b[2J\x1b[H"); // clear screen, home cursor
+    }
+    let state = if s.finished {
+        "finished"
+    } else if s.kind == "pending" {
+        "starting"
+    } else {
+        "running"
+    };
+    let title = if s.label.is_empty() { s.kind.clone() } else { format!("{} {}", s.label, s.kind) };
+    out.push_str(&format!("phi-top — {title} campaign  pid {}  [{state}]\n", s.pid));
+    let pct = if s.total > 0 { 100.0 * s.done as f64 / s.total as f64 } else { 0.0 };
+    let eta = s.eta_secs.map_or_else(|| "—".to_string(), fmt_secs);
+    out.push_str(&format!(
+        "  progress  {}/{} ({pct:.1}%)   rate {:.1} trials/s   eta {eta}   elapsed {}\n",
+        s.done,
+        s.total,
+        s.trials_per_sec,
+        fmt_secs(s.elapsed_secs)
+    ));
+    if s.prior > 0 {
+        out.push_str(&format!("  resumed   {} trials were already journaled at startup\n", s.prior));
+    }
+    out.push_str(&format!(
+        "  mix       masked {}   hw-masked {}   sdc {}   due {}\n",
+        s.mix.masked, s.mix.hw_masked, s.mix.sdc, s.mix.due
+    ));
+    out.push_str(&format!("  pool      hits {}   rebuilds {}\n", s.pool_hits, s.pool_rebuilds));
+    let w = &s.workers;
+    out.push_str(&format!(
+        "  workers   spawned {}   killed {}   retries {}   quarantined {}   metric-frames {}\n",
+        w.spawned, w.killed, w.retries, w.quarantined, w.metric_frames
+    ));
+    if !s.shards.is_empty() {
+        out.push_str(&format!("\n  {:>5} {:>10} {:>10} {:>7}  {}\n", "shard", "done", "total", "pct", "state"));
+        for sh in &s.shards {
+            let pct = if sh.total > 0 { 100.0 * sh.done as f64 / sh.total as f64 } else { 100.0 };
+            let state = if sh.sealed {
+                "sealed"
+            } else if sh.done > 0 {
+                "active"
+            } else {
+                "queued"
+            };
+            out.push_str(&format!("  {:>5} {:>10} {:>10} {:>6.1}%  {}\n", sh.shard, sh.done, sh.total, pct, state));
+        }
+    }
+    if !s.spans.is_empty() {
+        out.push_str(&format!(
+            "\n  {:<22} {:>10} {:>10} {:>10} {:>10}\n",
+            "span", "count", "p50", "p95", "p99"
+        ));
+        for sp in &s.spans {
+            out.push_str(&format!(
+                "  {:<22} {:>10} {:>10} {:>10} {:>10}\n",
+                sp.name,
+                sp.count,
+                fmt_ns(sp.p50_ns),
+                fmt_ns(sp.p95_ns),
+                fmt_ns(sp.p99_ns)
+            ));
+        }
+    }
+    print!("{out}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+}
+
+fn emit(s: &StatusSnapshot, args: &TopArgs, clear: bool) {
+    if args.json {
+        match serde_json::to_string(s) {
+            Ok(json) => println!("{json}"),
+            Err(e) => fatal(format!("serialize snapshot: {e}")),
+        }
+    } else {
+        render(s, clear);
+    }
+}
+
+fn read_heartbeat(path: &std::path::Path) -> StatusSnapshot {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| fatal(format!("read {}: {e}", path.display())));
+    serde_json::from_str(&raw).unwrap_or_else(|e| fatal(format!("parse {}: {e}", path.display())))
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.file {
+        loop {
+            let snap = read_heartbeat(path);
+            let done = snap.finished;
+            emit(&snap, &args, !args.once && !args.json);
+            if args.once || done {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+        }
+    }
+
+    let socket = args.socket.as_ref().expect("parse_args guarantees a source");
+    let mut stream =
+        UnixStream::connect(socket).unwrap_or_else(|e| fatal(format!("connect {}: {e}", socket.display())));
+    let request = if args.once {
+        MonitorRequest::Snapshot
+    } else {
+        MonitorRequest::Subscribe { interval_ms: args.interval_ms }
+    };
+    if let Err(e) = write_frame(&mut stream, &request) {
+        fatal(format!("send request: {e}"));
+    }
+    loop {
+        let snap: StatusSnapshot = match read_frame_blocking(&mut stream) {
+            Ok(s) => s,
+            Err(e) if args.once => fatal(format!("read snapshot: {e}")),
+            // A dropped subscription stream means the campaign process
+            // exited; that is the normal end of a live session.
+            Err(_) => return,
+        };
+        let done = snap.finished;
+        emit(&snap, &args, !args.once && !args.json);
+        if args.once || done {
+            return;
+        }
+    }
+}

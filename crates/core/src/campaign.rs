@@ -174,6 +174,35 @@ pub fn execute_trial<T: FaultTarget>(
     total_steps: usize,
     trial: usize,
 ) -> (TrialRecord, bool) {
+    execute_trial_attempt(benchmark, target, golden, cfg, total_steps, trial, 0, true)
+}
+
+/// [`execute_trial`] with explicit telemetry policy, for warden workers
+/// whose trials may run more than once:
+///
+/// * `attempt` tags the emitted event — attempt 0 keeps the stable `trial`
+///   kind (and payload schema), retries become `trial_retry` events wrapping
+///   the record with the attempt index, so log consumers never see the same
+///   trial index twice under `trial`.
+/// * `count_outcomes: false` skips the outcome-class counter increments;
+///   isolated workers pass `false` because the *supervisor* counts outcomes
+///   exactly once per trial index when it journals the winning record (a
+///   worker can die after reporting, forcing a re-run of an already-counted
+///   trial).
+///
+/// The returned record is bit-identical regardless of `attempt` /
+/// `count_outcomes` — they only shape telemetry.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_trial_attempt<T: FaultTarget>(
+    benchmark: &str,
+    target: &mut T,
+    golden: &Output,
+    cfg: &CampaignConfig,
+    total_steps: usize,
+    trial: usize,
+    attempt: u32,
+    count_outcomes: bool,
+) -> (TrialRecord, bool) {
     let mut rng = crate::rng::fork(cfg.seed, trial as u64);
     let model = cfg.models[trial % cfg.models.len()];
     let inject_step = rng.gen_range(0..total_steps);
@@ -204,12 +233,18 @@ pub fn execute_trial<T: FaultTarget>(
         outcome,
         executed_steps: result.executed_steps,
     };
-    obs::incr(outcome_key(model, &record.outcome), 1);
+    if count_outcomes {
+        obs::incr(outcome_key(model, &record.outcome), 1);
+    }
     // Serializing the record is only worth it when someone is listening;
     // `enabled()` guards the allocation.
     if obs::enabled() {
         if let Ok(json) = serde_json::to_string(&record) {
-            obs::event("trial", &json);
+            if attempt == 0 {
+                obs::event("trial", &json);
+            } else {
+                obs::event("trial_retry", &format!("{{\"attempt\":{attempt},\"record\":{json}}}"));
+            }
         }
     }
     (record, result.fast_compare)

@@ -40,6 +40,7 @@ pub mod bytesview;
 pub mod campaign;
 pub mod fuel;
 pub mod models;
+pub mod monitor;
 pub mod orchestrator;
 pub mod output;
 pub mod panic_guard;

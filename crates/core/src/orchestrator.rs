@@ -13,7 +13,7 @@
 //! with no trial re-executed or double-counted (the journal's per-shard
 //! sequence numbers are validated gapless on every open).
 
-use crate::campaign::{execute_trial, report_for, Campaign, CampaignConfig};
+use crate::campaign::{execute_trial, outcome_key, report_for, Campaign, CampaignConfig};
 use crate::output::Output;
 use crate::record::{DueKind, TrialRecord};
 use crate::target::FaultTarget;
@@ -257,6 +257,7 @@ pub fn drive_shards(
             }
             new_records[shard].lock().push(record);
             completed += 1;
+            crate::monitor::tick(shard);
             if ((completed - start) as u64).is_multiple_of(store_cfg.checkpoint_every) {
                 if let Err(e) = checkpoint(completed, true) {
                     fail(e);
@@ -274,7 +275,10 @@ pub fn drive_shards(
             })
         })();
         match seal {
-            Ok(()) => obs::incr("shard/completed", 1),
+            Ok(()) => {
+                obs::incr("shard/completed", 1);
+                crate::monitor::shard_sealed(shard);
+            }
             Err(e) => fail(e),
         }
     });
@@ -355,6 +359,7 @@ where
     };
     let (writer, progress, prior) = open_journal(store_cfg, meta)?;
     let plan = ShardPlan::new(cfg.trials, store_cfg.shards);
+    crate::monitor::begin_campaign(benchmark, "inject", &plan, &progress);
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -373,6 +378,7 @@ where
     Ok(match run {
         StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
         StoredRun::Complete(records) => {
+            crate::monitor::complete_campaign();
             let mut report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
             report.pool_hits = pool.hits();
             report.pool_rebuilds = pool.rebuilds();
@@ -394,6 +400,15 @@ where
 ///
 /// Wardens are pooled per orchestrator call: a worker process is reused
 /// across trials (and across shards) until it dies.
+///
+/// `key` maps a completed record to its outcome-class counter, which the
+/// *supervisor* increments exactly once per trial index. Workers execute
+/// with outcome counting disabled (`execute_trial_attempt(..,
+/// count_outcomes: false)`), so a trial retried after a kill or torn reply
+/// never double-counts, and a worker that died mid-trial never leaks a
+/// half-counted attempt — the count happens only where the winning record
+/// is journaled. Return `None` to skip counting (record types without a
+/// static class).
 #[allow(clippy::too_many_arguments)]
 pub fn drive_isolated(
     plan: ShardPlan,
@@ -405,6 +420,7 @@ pub fn drive_isolated(
     busy_ns: &AtomicU64,
     iso: &IsolateConfig,
     synth: impl Fn(usize, DueKind) -> TrialRecord + Sync,
+    key: impl Fn(&TrialRecord) -> Option<&'static str> + Sync,
 ) -> std::io::Result<StoredRun<Vec<TrialRecord>>> {
     let wardens: parking_lot::Mutex<Vec<Warden>> = parking_lot::Mutex::new(Vec::new());
     drive_shards(plan, progress, prior, writer, store_cfg, workers, busy_ns, |trial| {
@@ -415,6 +431,9 @@ pub fn drive_isolated(
         match warden.run_trial(trial) {
             Ok(IsolatedTrial::Completed(record)) => {
                 wardens.lock().push(warden);
+                if let Some(k) = key(&record) {
+                    obs::incr(k, 1);
+                }
                 *record
             }
             Ok(IsolatedTrial::Quarantined { kind, .. }) => {
@@ -463,18 +482,29 @@ pub fn run_campaign_isolated(
     };
     let (writer, progress, prior) = open_journal(store_cfg, meta)?;
     let plan = ShardPlan::new(cfg.trials, store_cfg.shards);
+    crate::monitor::begin_campaign(benchmark, "inject", &plan, &progress);
     let workers = if cfg.workers == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         cfg.workers
     };
 
-    let run = drive_isolated(plan, &progress, prior, writer, store_cfg, workers, &busy_ns, iso, |trial, kind| {
-        crate::campaign::synth_due_record(benchmark, cfg, total_steps, trial, kind)
-    })?;
+    let run = drive_isolated(
+        plan,
+        &progress,
+        prior,
+        writer,
+        store_cfg,
+        workers,
+        &busy_ns,
+        iso,
+        |trial, kind| crate::campaign::synth_due_record(benchmark, cfg, total_steps, trial, kind),
+        |record| record.model.map(|m| outcome_key(m, &record.outcome)),
+    )?;
     Ok(match run {
         StoredRun::Paused { completed, total } => StoredRun::Paused { completed, total },
         StoredRun::Complete(records) => {
+            crate::monitor::complete_campaign();
             let report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);
             StoredRun::Complete(Campaign { benchmark: benchmark.to_string(), records, report })
         }
@@ -718,7 +748,7 @@ mod tests {
                 _ => {}
             }
         }
-        let result = crate::warden::serve(|trial| {
+        let result = crate::warden::serve(|trial, attempt| {
             if abort_on == Some(trial) {
                 std::process::abort();
             }
@@ -728,7 +758,7 @@ mod tests {
                 }
             }
             let mut target = Victim::new();
-            execute_trial("victim", &mut target, &g, &cfg, 8, trial).0
+            crate::campaign::execute_trial_attempt("victim", &mut target, &g, &cfg, 8, trial, attempt, false).0
         });
         std::process::exit(if result.is_ok() { 0 } else { 1 });
     }

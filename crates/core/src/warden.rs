@@ -31,6 +31,12 @@
 //!
 //! Telemetry: `warden/spawned`, `warden/killed`, `warden/retries`,
 //! `warden/quarantined` counters and a `trial_wall` span per trial.
+//!
+//! The worker's *own* telemetry is not lost either: workers that have a
+//! metrics-keeping recorder installed periodically (and on shutdown) ship a
+//! cumulative [`MetricsFrame`] which the parent folds into the process-global
+//! [`obs::MetricsHub`], keyed by worker identity — so `--isolate --telemetry`
+//! footers and the `--monitor` endpoint see inside the sandbox.
 
 use crate::record::{DueKind, TrialRecord};
 use serde::{Deserialize, Serialize};
@@ -68,7 +74,10 @@ const REAP_GRACE: Duration = Duration::from_secs(2);
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Execute one trial (campaign-global index) and reply with `Record`.
-    Run { trial: u64 },
+    /// `attempt` is 0 for the first execution and grows with every warden
+    /// retry of the same trial, so workers can tag their telemetry events
+    /// and keep outcome counting once-per-trial.
+    Run { trial: u64, attempt: u32 },
     /// Drain and exit cleanly.
     Shutdown,
 }
@@ -83,6 +92,85 @@ pub enum Reply {
     /// One finished trial; `payload` is the serialized [`TrialRecord`]
     /// exactly as the worker's `execute_trial` produced it.
     Record { trial: u64, payload: String },
+    /// Cumulative snapshot of the worker's recorder. Sent opportunistically
+    /// (throttled) and on shutdown; the parent folds the latest one per
+    /// worker into the global [`obs::MetricsHub`].
+    Metrics { metrics: MetricsFrame },
+}
+
+/// One counter on the wire. (Named-field structs throughout: the wire
+/// format keeps maps as explicit entry lists so the JSON schema is
+/// self-describing.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterFrame {
+    pub name: String,
+    pub value: u64,
+}
+
+/// One non-empty log₂ histogram bucket on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketFrame {
+    pub upper_ns: u64,
+    pub count: u64,
+}
+
+/// One latency histogram on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistFrame {
+    pub name: String,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    pub buckets: Vec<BucketFrame>,
+}
+
+/// Wire form of an [`obs::MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsFrame {
+    pub counters: Vec<CounterFrame>,
+    pub hists: Vec<HistFrame>,
+}
+
+impl MetricsFrame {
+    pub fn from_snapshot(snap: &obs::MetricsSnapshot) -> Self {
+        MetricsFrame {
+            counters: snap
+                .counters
+                .iter()
+                .map(|(name, &value)| CounterFrame { name: name.clone(), value })
+                .collect(),
+            hists: snap
+                .hists
+                .iter()
+                .map(|(name, h)| HistFrame {
+                    name: name.clone(),
+                    count: h.count,
+                    sum_ns: h.sum_ns,
+                    max_ns: h.max_ns,
+                    buckets: h.buckets.iter().map(|&(upper_ns, count)| BucketFrame { upper_ns, count }).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn into_snapshot(self) -> obs::MetricsSnapshot {
+        let mut snap = obs::MetricsSnapshot::new();
+        for c in self.counters {
+            snap.counters.insert(c.name, c.value);
+        }
+        for h in self.hists {
+            snap.hists.insert(
+                h.name,
+                obs::HistData {
+                    count: h.count,
+                    sum_ns: h.sum_ns,
+                    max_ns: h.max_ns,
+                    buckets: h.buckets.into_iter().map(|b| (b.upper_ns, b.count)).collect(),
+                },
+            );
+        }
+        snap
+    }
 }
 
 fn other(msg: impl Into<String>) -> std::io::Error {
@@ -133,7 +221,7 @@ fn read_exact_deadline(s: &mut UnixStream, buf: &mut [u8], deadline: Instant) ->
 }
 
 /// Reads one frame with an absolute deadline.
-fn read_frame_deadline<T: for<'de> Deserialize<'de>>(s: &mut UnixStream, deadline: Instant) -> std::io::Result<T> {
+pub fn read_frame_deadline<T: for<'de> Deserialize<'de>>(s: &mut UnixStream, deadline: Instant) -> std::io::Result<T> {
     let mut len = [0u8; 4];
     read_exact_deadline(s, &mut len, deadline)?;
     let len = u32::from_le_bytes(len) as usize;
@@ -146,7 +234,8 @@ fn read_frame_deadline<T: for<'de> Deserialize<'de>>(s: &mut UnixStream, deadlin
 }
 
 /// Blocking frame read for the worker side (the parent owns all deadlines).
-fn read_frame_blocking<T: for<'de> Deserialize<'de>>(s: &mut UnixStream) -> std::io::Result<T> {
+/// Also the monitor endpoint's framing (`carolfi::monitor`, `phi-top`).
+pub fn read_frame_blocking<T: for<'de> Deserialize<'de>>(s: &mut UnixStream) -> std::io::Result<T> {
     s.set_read_timeout(None)?;
     let mut len = [0u8; 4];
     read_exact_blocking(s, &mut len)?;
@@ -257,9 +346,13 @@ enum Death {
 struct WorkerConn {
     child: Child,
     stream: UnixStream,
+    /// Hub source key: unique per spawned worker (pid alone could recycle),
+    /// so a respawn accumulates on top of its predecessors' folded metrics.
+    source: String,
 }
 
 static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+static WORKER_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Supervises one worker process. One warden per orchestrator thread;
 /// workers are reused across trials and respawned on demand after a death.
@@ -290,7 +383,7 @@ impl Warden {
         let mut infra = 0u32;
         let mut attempt = 0u32;
         loop {
-            match self.attempt_trial(trial) {
+            match self.attempt_trial(trial, attempt) {
                 Ok(record) => return Ok(IsolatedTrial::Completed(Box::new(record))),
                 Err(Death::Victim { kind, diag }) => {
                     deaths.push(diag);
@@ -327,6 +420,14 @@ impl Warden {
     pub fn shutdown(&mut self) {
         if let Some(mut w) = self.worker.take() {
             let _ = write_frame(&mut w.stream, &Request::Shutdown);
+            // Drain the worker's parting frames — it ships a final
+            // cumulative Metrics before closing its end of the stream.
+            let deadline = Instant::now() + Duration::from_millis(500);
+            while let Ok(reply) = read_frame_deadline::<Reply>(&mut w.stream, deadline) {
+                if let Reply::Metrics { metrics } = reply {
+                    self.fold_metrics(&w.source, metrics);
+                }
+            }
             if wait_with_grace(&mut w.child, Duration::from_millis(500)).is_none() {
                 let _ = w.child.kill();
                 let _ = w.child.wait();
@@ -334,21 +435,32 @@ impl Warden {
         }
     }
 
+    /// Folds a worker's cumulative snapshot into the process-global hub.
+    fn fold_metrics(&self, source: &str, metrics: MetricsFrame) {
+        obs::incr("warden/metric_frames", 1);
+        obs::hub().fold(source, metrics.into_snapshot());
+    }
+
     /// One execution attempt: ensure a live worker, send `Run`, pump frames
     /// until a record arrives or the wall clock runs out.
-    fn attempt_trial(&mut self, trial: usize) -> Result<TrialRecord, Death> {
+    fn attempt_trial(&mut self, trial: usize, attempt: u32) -> Result<TrialRecord, Death> {
         if self.worker.is_none() {
             self.spawn_worker().map_err(|e| Death::Infra(format!("spawn worker: {e}")))?;
         }
         let deadline = Instant::now() + self.cfg.trial_wall;
         let w = self.worker.as_mut().expect("worker just ensured");
-        if let Err(e) = write_frame(&mut w.stream, &Request::Run { trial: trial as u64 }) {
+        if let Err(e) = write_frame(&mut w.stream, &Request::Run { trial: trial as u64, attempt }) {
             return Err(self.reap(format!("trial {trial}: sending Run failed: {e}")));
         }
         loop {
             let w = self.worker.as_mut().expect("worker alive while pumping frames");
             match read_frame_deadline::<Reply>(&mut w.stream, deadline) {
                 Ok(Reply::Heartbeat { .. }) | Ok(Reply::Hello { .. }) => continue,
+                Ok(Reply::Metrics { metrics }) => {
+                    let source = w.source.clone();
+                    self.fold_metrics(&source, metrics);
+                    continue;
+                }
                 Ok(Reply::Record { trial: got, payload }) => {
                     if got != trial as u64 {
                         return Err(self.reap(format!("trial {trial}: worker answered trial {got}")));
@@ -419,7 +531,8 @@ impl Warden {
             otherwise => return Err(other(format!("worker's first frame was not Hello: {otherwise:?}"))),
         }
         obs::incr("warden/spawned", 1);
-        self.worker = Some(WorkerConn { child, stream });
+        let source = format!("worker-{}-{}", child.id(), WORKER_SEQ.fetch_add(1, Ordering::Relaxed));
+        self.worker = Some(WorkerConn { child, stream, source });
         Ok(())
     }
 
@@ -505,20 +618,39 @@ pub fn worker_spec() -> Option<String> {
     worker_active().then(|| std::env::var(SPEC_ENV).unwrap_or_default())
 }
 
+/// How often a worker refreshes its cumulative metrics frame (heartbeat
+/// multiples; 8 ticks ≈ 200 ms).
+const METRICS_EVERY_TICKS: u32 = 8;
+
 /// Worker main loop: connect back to the parent, answer `Run` requests via
 /// `run_one` (the embedder rebuilds the campaign's trial closure from the
-/// spec), stream records, heartbeat while executing. Returns when the
-/// parent shuts the stream down. Victim panics are silenced exactly as in
-/// in-process campaigns; anything harder (abort, runaway loop) takes the
-/// worker down, which is the point — the parent classifies the corpse.
-pub fn serve(mut run_one: impl FnMut(usize) -> TrialRecord) -> std::io::Result<()> {
+/// spec; the second argument is the warden's attempt index for this trial),
+/// stream records, heartbeat while executing. Returns when the parent shuts
+/// the stream down. Victim panics are silenced exactly as in in-process
+/// campaigns; anything harder (abort, runaway loop) takes the worker down,
+/// which is the point — the parent classifies the corpse.
+///
+/// If the worker process has a metrics-keeping recorder installed
+/// ([`obs::snapshot`] returns `Some`), its cumulative state is shipped to
+/// the parent alongside heartbeats (throttled), after every record, and as
+/// a parting frame on shutdown.
+pub fn serve(mut run_one: impl FnMut(usize, u32) -> TrialRecord) -> std::io::Result<()> {
     let path = std::env::var(SOCKET_ENV).map_err(|_| other(format!("{SOCKET_ENV} is not set")))?;
     let mut reader = UnixStream::connect(&path)?;
     let writer = Arc::new(parking_lot::Mutex::new(reader.try_clone()?));
     let _quiet = crate::panic_guard::silence_panics();
     write_frame(&mut *writer.lock(), &Reply::Hello { pid: std::process::id() })?;
 
-    // Heartbeat thread: ticks while a trial is in flight (u64::MAX = idle).
+    let send_metrics = |w: &mut UnixStream| -> std::io::Result<()> {
+        match obs::snapshot() {
+            Some(snap) => write_frame(w, &Reply::Metrics { metrics: MetricsFrame::from_snapshot(&snap) }),
+            None => Ok(()),
+        }
+    };
+
+    // Heartbeat thread: ticks while a trial is in flight (u64::MAX = idle),
+    // refreshing the parent's view of our metrics every few ticks so even a
+    // long-running single trial reports live counters.
     let current = Arc::new(AtomicU64::new(u64::MAX));
     let done = Arc::new(AtomicBool::new(false));
     let hb = {
@@ -526,18 +658,26 @@ pub fn serve(mut run_one: impl FnMut(usize) -> TrialRecord) -> std::io::Result<(
         let current = current.clone();
         let done = done.clone();
         std::thread::spawn(move || {
+            let mut ticks = 0u32;
             while !done.load(Ordering::Relaxed) {
                 std::thread::sleep(HEARTBEAT_EVERY);
                 let trial = current.load(Ordering::Relaxed);
-                if trial != u64::MAX
-                    && write_frame(&mut *writer.lock(), &Reply::Heartbeat { trial }).is_err()
-                {
+                if trial == u64::MAX {
+                    continue;
+                }
+                ticks += 1;
+                let mut w = writer.lock();
+                if write_frame(&mut *w, &Reply::Heartbeat { trial }).is_err() {
                     break; // parent is gone; the main loop will notice too
+                }
+                if ticks.is_multiple_of(METRICS_EVERY_TICKS) && send_metrics(&mut w).is_err() {
+                    break;
                 }
             }
         })
     };
 
+    let mut last_metrics = Instant::now();
     let result = loop {
         let request: Request = match read_frame_blocking(&mut reader) {
             Ok(r) => r,
@@ -546,21 +686,32 @@ pub fn serve(mut run_one: impl FnMut(usize) -> TrialRecord) -> std::io::Result<(
         };
         match request {
             Request::Shutdown => break Ok(()),
-            Request::Run { trial } => {
+            Request::Run { trial, attempt } => {
                 current.store(trial, Ordering::Relaxed);
-                let record = run_one(trial as usize);
+                let record = run_one(trial as usize, attempt);
                 current.store(u64::MAX, Ordering::Relaxed);
                 let payload = match serde_json::to_string(&record) {
                     Ok(p) => p,
                     Err(e) => break Err(other(format!("serialize record for trial {trial}: {e}"))),
                 };
-                if let Err(e) = write_frame(&mut *writer.lock(), &Reply::Record { trial, payload }) {
+                let mut w = writer.lock();
+                if let Err(e) = write_frame(&mut *w, &Reply::Record { trial, payload }) {
                     break Err(e);
+                }
+                // Refresh the parent's metrics view, throttled so fast
+                // trials don't pay a snapshot+serialize each (best effort,
+                // the Record already landed).
+                if last_metrics.elapsed() >= HEARTBEAT_EVERY * METRICS_EVERY_TICKS {
+                    last_metrics = Instant::now();
+                    let _ = send_metrics(&mut w);
                 }
             }
         }
     };
     done.store(true, Ordering::Relaxed);
+    // Parting cumulative snapshot: the shutdown drain on the parent side
+    // folds it so nothing recorded since the last refresh is lost.
+    let _ = send_metrics(&mut writer.lock());
     let _ = hb.join();
     result
 }
@@ -594,7 +745,7 @@ mod tests {
     #[test]
     fn warden_worker_entry() {
         let Some(spec) = worker_spec() else { return };
-        let result = serve(|trial| {
+        let result = serve(|trial, _attempt| {
             match (spec.as_str(), trial) {
                 ("abort-on-5", 5) => std::process::abort(),
                 ("exit-on-4", 4) => std::process::exit(17),
@@ -635,9 +786,25 @@ mod tests {
         let back: Reply = read_frame_deadline(&mut b, deadline).unwrap();
         assert_eq!(back, msg);
         // Requests too.
-        write_frame(&mut b, &Request::Run { trial: 3 }).unwrap();
+        write_frame(&mut b, &Request::Run { trial: 3, attempt: 2 }).unwrap();
         let req: Request = read_frame_blocking(&mut a).unwrap();
-        assert_eq!(req, Request::Run { trial: 3 });
+        assert_eq!(req, Request::Run { trial: 3, attempt: 2 });
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip_to_snapshots() {
+        let rec = obs::CounterRecorder::new();
+        use obs::Recorder as _;
+        rec.incr("warden/spawned", 3);
+        rec.observe_ns("trial", 1500);
+        rec.observe_ns("trial", 0);
+        let snap = rec.snapshot();
+        let frame = MetricsFrame::from_snapshot(&snap);
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        write_frame(&mut a, &Reply::Metrics { metrics: frame }).unwrap();
+        let back: Reply = read_frame_blocking(&mut b).unwrap();
+        let Reply::Metrics { metrics } = back else { panic!("wrong frame: {back:?}") };
+        assert_eq!(metrics.into_snapshot(), snap);
     }
 
     #[test]

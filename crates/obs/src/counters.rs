@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use crate::hub::{HistData, MetricsSnapshot};
 use crate::Recorder;
 
 /// Max distinct counter names. Campaign instrumentation uses well under
@@ -165,6 +166,37 @@ impl HistogramSnapshot {
         }
         self.max_ns
     }
+
+    /// Interpolated q-percentile estimate: walks the cumulative bucket
+    /// counts to the bucket containing the target rank, then interpolates
+    /// linearly within that bucket's `[lower, upper)` range. One log₂
+    /// bucket of true resolution, but without `quantile_ns`'s systematic
+    /// round-up to the bucket edge; capped at the exact observed max.
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_from_buckets(self.count, self.max_ns, &self.buckets, q)
+    }
+}
+
+/// Shared percentile estimator over `(upper_bound_ns, count)` log₂ buckets
+/// (ascending, non-empty). Bucket 0 (upper 1) spans exactly `[0, 1)`; every
+/// other bucket spans `[upper/2, upper)`.
+pub(crate) fn percentile_from_buckets(count: u64, max_ns: u64, buckets: &[(u64, u64)], q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((count as f64) * q.clamp(0.0, 1.0)).max(1.0).min(count as f64);
+    let mut seen = 0u64;
+    for &(upper, n) in buckets {
+        let below = seen;
+        seen += n;
+        if (seen as f64) >= target {
+            let lower = if upper <= 1 { 0 } else { upper / 2 };
+            let frac = (target - below as f64) / n as f64;
+            let est = lower as f64 + frac * (upper - lower) as f64;
+            return (est as u64).min(max_ns);
+        }
+    }
+    max_ns
 }
 
 impl CounterRecorder {
@@ -221,6 +253,22 @@ impl CounterRecorder {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters().iter().find(|c| c.name == name).map_or(0, |c| c.value)
     }
+
+    /// Owned, portable snapshot of every counter and histogram — the value
+    /// a worker ships to the supervisor's [`crate::MetricsHub`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for c in self.counters() {
+            snap.counters.insert(c.name.to_string(), c.value);
+        }
+        for h in self.histograms() {
+            snap.hists.insert(
+                h.name.to_string(),
+                HistData { count: h.count, sum_ns: h.sum_ns, max_ns: h.max_ns, buckets: h.buckets },
+            );
+        }
+        snap
+    }
 }
 
 impl Recorder for CounterRecorder {
@@ -243,9 +291,13 @@ impl Recorder for CounterRecorder {
             self.counter_values[i].fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(CounterRecorder::snapshot(self))
+    }
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     match ns {
         0..=999 => format!("{ns}ns"),
         1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
@@ -255,46 +307,11 @@ fn fmt_ns(ns: u64) -> String {
 }
 
 impl fmt::Display for CounterRecorder {
-    /// Diagnose-style report: counters first, then per-span latency tables
-    /// with a log₂ bucket bar chart.
+    /// Diagnose-style report: counters first, then a per-span latency table
+    /// with interpolated percentiles (the [`MetricsSnapshot`] renderer, so
+    /// local-only and hub-merged footers read identically).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "telemetry {}", "─".repeat(60))?;
-        let counters = self.counters();
-        if !counters.is_empty() {
-            writeln!(f, "  counters")?;
-            for c in &counters {
-                writeln!(f, "    {:<44} {:>12}", c.name, c.value)?;
-            }
-        }
-        let hists = self.histograms();
-        if !hists.is_empty() {
-            writeln!(
-                f,
-                "  {:<26} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                "spans", "count", "mean", "p50", "p99", "max"
-            )?;
-            for h in &hists {
-                writeln!(
-                    f,
-                    "    {:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                    h.name,
-                    h.count,
-                    fmt_ns(h.mean_ns()),
-                    fmt_ns(h.quantile_ns(0.5)),
-                    fmt_ns(h.quantile_ns(0.99)),
-                    fmt_ns(h.max_ns),
-                )?;
-                let peak = h.buckets.iter().map(|&(_, n)| n).max().unwrap_or(1);
-                for &(upper, n) in &h.buckets {
-                    let bar = "█".repeat(((n * 24).div_ceil(peak)) as usize);
-                    writeln!(f, "      <{:<9} {:<24} {}", fmt_ns(upper), bar, n)?;
-                }
-            }
-        }
-        if counters.is_empty() && hists.is_empty() {
-            writeln!(f, "  (no events recorded)")?;
-        }
-        Ok(())
+        CounterRecorder::snapshot(self).fmt(f)
     }
 }
 
@@ -386,6 +403,71 @@ mod tests {
         rec.event("trial", "{\"x\":1}");
         rec.event("trial", "{\"x\":2}");
         assert_eq!(rec.counter("trial"), 2);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_known_distributions() {
+        // 1000 observations uniform over [0, 1000): percentile(q) should
+        // track q*1000 to within one log₂ bucket of the true value.
+        let rec = CounterRecorder::new();
+        for ns in 0..1000u64 {
+            rec.observe_ns("u", ns);
+        }
+        let h = &rec.histograms()[0];
+        for (q, exact) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let est = h.percentile(q);
+            assert!(est <= h.max_ns, "q={q} est={est}");
+            // True value and estimate must share an order of magnitude: the
+            // estimate may be off by at most the containing bucket's width.
+            let err = est.abs_diff(exact);
+            assert!(err <= exact / 2 + 1, "q={q} exact={exact} est={est}");
+        }
+        assert_eq!(h.percentile(1.0), 999, "p100 is capped at the exact max");
+
+        // Constant distribution: every percentile lands in the single
+        // bucket [64, 128) and is capped at the observed max.
+        let rec = CounterRecorder::new();
+        for _ in 0..100 {
+            rec.observe_ns("c", 100);
+        }
+        let h = &rec.histograms()[0];
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let est = h.percentile(q);
+            assert!((64..=100).contains(&est), "q={q} est={est}");
+        }
+
+        // Bimodal: 90 fast (≈8ns) + 10 slow (≈1µs). p50 stays in the fast
+        // mode's bucket, p99 in the slow mode's.
+        let rec = CounterRecorder::new();
+        for _ in 0..90 {
+            rec.observe_ns("b", 8);
+        }
+        for _ in 0..10 {
+            rec.observe_ns("b", 1000);
+        }
+        let h = &rec.histograms()[0];
+        assert!((8..16).contains(&h.percentile(0.5)), "p50={}", h.percentile(0.5));
+        assert!((512..=1000).contains(&h.percentile(0.99)), "p99={}", h.percentile(0.99));
+
+        // Monotone in q.
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let est = h.percentile(q);
+            assert!(est >= prev, "q={q}: {est} < {prev}");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn percentile_of_empty_and_zero_histograms() {
+        let rec = CounterRecorder::new();
+        rec.observe_ns("zeros", 0);
+        rec.observe_ns("zeros", 0);
+        let h = &rec.histograms()[0];
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+        let empty = HistogramSnapshot { name: "e", count: 0, sum_ns: 0, max_ns: 0, buckets: vec![] };
+        assert_eq!(empty.percentile(0.5), 0);
     }
 
     #[test]

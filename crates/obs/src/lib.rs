@@ -29,10 +29,12 @@
 //! globally [`install`]ed recorder, if any.
 
 mod counters;
+mod hub;
 mod jsonl;
 mod report;
 
 pub use counters::{CounterRecorder, CounterSnapshot, HistogramSnapshot, HIST_BUCKETS};
+pub use hub::{hub, merged_snapshot, HistData, MetricsHub, MetricsSnapshot};
 pub use jsonl::{JsonlRecorder, SharedBuf};
 pub use report::{CampaignReport, ReportBuilder};
 
@@ -52,6 +54,13 @@ pub trait Recorder: Send + Sync {
     /// Records a structured event; `payload_json` must be valid JSON (the
     /// callers serialize with `serde_json` before handing it over).
     fn event(&self, kind: &'static str, payload_json: &str);
+
+    /// Point-in-time aggregate state, for recorders that keep any (the
+    /// [`CounterRecorder`] does; streaming recorders return `None`). This
+    /// is what isolated workers ship to the supervisor's [`MetricsHub`].
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 /// A recorder that drops everything. Useful to keep the enabled-path code
@@ -121,6 +130,13 @@ pub fn event(kind: &'static str, payload_json: &str) {
     if enabled() {
         with_recorder(|r| r.event(kind, payload_json));
     }
+}
+
+/// Snapshot of the installed recorder's aggregate state, if it keeps any.
+/// Off the hot path (called at monitor/footer cadence), so it reads the
+/// recorder lock directly rather than the `enabled` gate.
+pub fn snapshot() -> Option<MetricsSnapshot> {
+    RECORDER.read().unwrap_or_else(|e| e.into_inner()).as_ref().and_then(|r| r.snapshot())
 }
 
 /// RAII timing guard: measures from construction to drop and feeds the

@@ -1,0 +1,133 @@
+//! Property tests for the cross-process metrics hub (DESIGN.md §10):
+//! snapshot merge/delta arithmetic must behave like a commutative monoid
+//! with an exact reset-aware difference, or the supervisor's fold of
+//! worker frames would drift from the single-process truth.
+
+use obs::{CounterRecorder, MetricsSnapshot, Recorder};
+use proptest::prelude::*;
+
+/// Fixed name universe — recorder names must be `&'static str`.
+const COUNTERS: [&str; 4] = ["warden/spawned", "pool/hits", "single/sdc", "zero/masked"];
+const SPANS: [&str; 3] = ["trial", "golden", "trial_wall"];
+
+/// One recorded op: counter increment or span observation, drawn from the
+/// fixed name universe by index.
+fn apply(rec: &CounterRecorder, ops: &[(u64, u64, u64)]) {
+    for &(kind, name, value) in ops {
+        if kind % 2 == 0 {
+            rec.incr(COUNTERS[(name % COUNTERS.len() as u64) as usize], value % 1_000);
+        } else {
+            rec.observe_ns(SPANS[(name % SPANS.len() as u64) as usize], value % 5_000_000);
+        }
+    }
+}
+
+fn snap(ops: &[(u64, u64, u64)]) -> MetricsSnapshot {
+    let rec = CounterRecorder::new();
+    apply(&rec, ops);
+    rec.snapshot()
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn ops() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(a in ops(), b in ops(), c in ops()) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        prop_assert_eq!(merged(&merged(&sa, &sb), &sc), merged(&sa, &merged(&sb, &sc)));
+        prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity_and_self_delta_is_empty(a in ops()) {
+        let sa = snap(&a);
+        let empty = MetricsSnapshot::new();
+        prop_assert_eq!(merged(&sa, &empty), sa.clone());
+        prop_assert_eq!(merged(&empty, &sa), sa.clone());
+        prop_assert!(MetricsSnapshot::delta(&sa, &sa).is_empty());
+    }
+
+    #[test]
+    fn merging_per_source_snapshots_equals_one_recorder_seeing_everything(a in ops(), b in ops()) {
+        // Two workers each recording their slice, folded, must equal one
+        // process recording both slices — the hub's core soundness claim.
+        let both: Vec<_> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged(&snap(&a), &snap(&b)), snap(&both));
+    }
+
+    #[test]
+    fn delta_of_a_cumulative_extension_is_exactly_the_new_ops(prefix in ops(), extra in ops()) {
+        // A worker's periodic frames are cumulative: frame N+1 = frame N
+        // plus whatever happened in between. delta() must recover exactly
+        // the in-between part, and folding it back must reconstruct N+1.
+        let rec = CounterRecorder::new();
+        apply(&rec, &prefix);
+        let older = rec.snapshot();
+        apply(&rec, &extra);
+        let newer = rec.snapshot();
+        let d = MetricsSnapshot::delta(&newer, &older);
+        let expect = snap(&extra);
+        prop_assert_eq!(&d.counters, &expect.counters);
+        prop_assert_eq!(d.hists.keys().collect::<Vec<_>>(), expect.hists.keys().collect::<Vec<_>>());
+        for (name, h) in &d.hists {
+            let e = &expect.hists[name];
+            prop_assert_eq!(h.count, e.count);
+            prop_assert_eq!(h.sum_ns, e.sum_ns);
+            prop_assert_eq!(&h.buckets, &e.buckets);
+            // The delta window's true max is unknowable from cumulative
+            // state; delta carries the source's running max as the bound.
+            prop_assert_eq!(h.max_ns, newer.hists[name].max_ns);
+            prop_assert!(h.max_ns >= e.max_ns);
+        }
+        prop_assert_eq!(merged(&older, &d), newer);
+    }
+
+    #[test]
+    fn delta_never_goes_negative_across_rotation(a in ops(), b in ops()) {
+        // Arbitrary old/new pairs model a source that restarted (rotation):
+        // every surviving delta entry must be positive-and-meaningful, and
+        // a shrunken counter must fall back to the restarted value.
+        let (older, newer) = (snap(&a), snap(&b));
+        let d = MetricsSnapshot::delta(&newer, &older);
+        for (name, &v) in &d.counters {
+            prop_assert!(v > 0, "zero-delta counter {name} should be omitted");
+            let (new_v, old_v) = (newer.counter(name), older.counter(name));
+            prop_assert_eq!(v, if new_v >= old_v { new_v - old_v } else { new_v });
+        }
+        for (name, h) in &d.hists {
+            prop_assert!(h.count > 0, "empty-delta hist {name} should be omitted");
+            let (new_h, old_count) = (&newer.hists[name], older.hists.get(name).map_or(0, |h| h.count));
+            if new_h.count < old_count {
+                // Rotation fallback: the restarted source's state, wholesale.
+                prop_assert_eq!(h, new_h);
+            } else {
+                prop_assert_eq!(h.count, new_h.count - old_count);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_are_consistent_with_the_serial_sum(per_thread in ops(), threads in 1usize..6) {
+        // N threads racing the same ops on one recorder must lose nothing:
+        // the result equals the serial application of all N copies.
+        let rec = CounterRecorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| apply(&rec, &per_thread));
+            }
+        });
+        let serial = CounterRecorder::new();
+        for _ in 0..threads {
+            apply(&serial, &per_thread);
+        }
+        prop_assert_eq!(rec.snapshot(), serial.snapshot());
+    }
+}

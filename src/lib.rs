@@ -17,11 +17,14 @@
 //! * [`store`] — durable campaign store: crash-safe journal, deterministic
 //!   sharding and resumable orchestration (used via
 //!   `carolfi::run_campaign_stored` / `beamsim::run_beam_campaign_stored`).
+//! * [`obs`] — zero-dependency telemetry: counters, span histograms and the
+//!   cross-process metrics hub behind `--telemetry` / `--monitor`.
 
 pub use beamsim;
 pub use carolfi;
 pub use kernels;
 pub use mitigation;
+pub use obs;
 pub use phidev;
 pub use sdc_analysis;
 pub use store;

@@ -72,7 +72,7 @@ fn isolated_worker_entry() {
     let cfg = CampaignConfig { trials, seed, n_windows: b.n_windows(), ..Default::default() };
     let g = golden(b, SizeClass::Test);
     let total_steps = build(b, SizeClass::Test).total_steps().max(1);
-    let result = phi_reliability::carolfi::warden::serve(|trial| {
+    let result = phi_reliability::carolfi::warden::serve(|trial, _attempt| {
         let mut target = build(b, SizeClass::Test);
         execute_trial(b.label(), &mut target, &g, &cfg, total_steps, trial).0
     });

@@ -148,7 +148,7 @@ fn kill_resume_worker_entry() {
     let cfg = kr_cfg();
     let g = golden(KR_BENCH, SizeClass::Test);
     let total_steps = build(KR_BENCH, SizeClass::Test).total_steps().max(1);
-    let result = phi_reliability::carolfi::warden::serve(|trial| {
+    let result = phi_reliability::carolfi::warden::serve(|trial, _attempt| {
         // Pace the campaign so the outer test's SIGKILL lands mid-run.
         std::thread::sleep(std::time::Duration::from_millis(KR_SLEEP_MS));
         let mut target = build(KR_BENCH, SizeClass::Test);

@@ -5,19 +5,13 @@
 //! patterns (cubic / square / line / single / random), plus the §4.2
 //! machine-scale extrapolations (Trinity and 10× exascale).
 
-use bench::{beam_records_stored, rule, RunConfig, StoreArgs};
+use bench::{beam_records_stored, rule};
 use kernels::Benchmark;
 use sdc_analysis::fit::MachineProjection;
 use sdc_analysis::spatial::{self, SpatialPattern};
 
 fn main() {
-    // Must run before anything else: in `--isolate` worker mode this
-    // process serves trials over the warden socket and never returns.
-    bench::maybe_run_worker();
-    let telemetry = bench::telemetry_from_args();
-    let cfg = RunConfig::from_env();
-    let store = StoreArgs::from_args();
-    bench::monitor_from_args(&store);
+    let bench::Figure { cfg, store, telemetry } = bench::figure_setup();
     println!("Figure 2 reproduction — SDC/DUE FIT and spatial distribution (sea level)");
     println!("strikes/benchmark = {}, size = {:?}, seed = {}\n", cfg.strikes, cfg.size, cfg.seed);
     println!(

@@ -10,19 +10,13 @@
 //! footer (merged across `--isolate` workers); `--monitor <socket>` serves
 //! live status for `phi-top` (README "Live monitoring").
 
-use bench::{injection_records_stored, rule, RunConfig, StoreArgs};
+use bench::{injection_records_stored, rule};
 use kernels::Benchmark;
 use sdc_analysis::pvf::OutcomeBreakdown;
 use sdc_analysis::stats::normal_margin95;
 
 fn main() {
-    // Must run before anything else: in `--isolate` worker mode this
-    // process serves trials over the warden socket and never returns.
-    bench::maybe_run_worker();
-    let telemetry = bench::telemetry_from_args();
-    let cfg = RunConfig::from_env();
-    let store = StoreArgs::from_args();
-    bench::monitor_from_args(&store);
+    let bench::Figure { cfg, store, telemetry } = bench::figure_setup();
     println!("Figure 4 reproduction — outcomes of fault injections");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
     println!("{:9} {:>9} {:>9} {:>9} {:>12}", "bench", "masked%", "SDC%", "DUE%", "±95% (worst)");

@@ -4,11 +4,11 @@
 //! Per benchmark and per fault model (Single, Double, Random, Zero), the SDC
 //! and DUE Program Vulnerability Factors of the injection campaign.
 
-use bench::{injection_records_stored, rule, RunConfig, StoreArgs};
+use bench::{injection_records_stored, pvf_row, rule};
 use carolfi::models::FaultModel;
 use carolfi::record::TrialRecord;
 use kernels::Benchmark;
-use sdc_analysis::pvf::{by_model, PvfKind};
+use sdc_analysis::pvf::PvfKind;
 
 fn print_table(kind: PvfKind, corpus: &[(Benchmark, Vec<TrialRecord>)]) {
     let title = match kind {
@@ -23,26 +23,16 @@ fn print_table(kind: PvfKind, corpus: &[(Benchmark, Vec<TrialRecord>)]) {
     println!();
     rule(9 + 9 * 4);
     for (b, records) in corpus {
-        let table = by_model(records, kind);
-        print!("{:9}", b.label());
-        for m in FaultModel::ALL {
-            let pct = table.get(m).map(|p| p.percent()).unwrap_or(0.0);
-            print!(" {:8.1}", pct);
-        }
-        println!();
+        // The same row the campaign service persists in its result
+        // documents — byte-comparable by construction.
+        println!("{}", pvf_row(b.label(), records, kind));
     }
     rule(9 + 9 * 4);
     println!();
 }
 
 fn main() {
-    // Must run before anything else: in `--isolate` worker mode this
-    // process serves trials over the warden socket and never returns.
-    bench::maybe_run_worker();
-    let telemetry = bench::telemetry_from_args();
-    let cfg = RunConfig::from_env();
-    let store = StoreArgs::from_args();
-    bench::monitor_from_args(&store);
+    let bench::Figure { cfg, store, telemetry } = bench::figure_setup();
     println!("Figures 5a/5b reproduction — fault-model PVFs");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
     // One campaign per benchmark, shared by both tables and the telemetry

@@ -5,7 +5,7 @@
 //! windows; DGEMM & HotSpot: 5; LUD & NW: 4 — paper §6). As the paper notes,
 //! these are per-window PVFs, not contributions, so rows can sum past 100%.
 
-use bench::{injection_records_stored, rule, RunConfig, StoreArgs};
+use bench::{injection_records_stored, rule};
 use carolfi::record::TrialRecord;
 use kernels::Benchmark;
 use sdc_analysis::pvf::{by_window, PvfKind};
@@ -33,13 +33,7 @@ fn print_table(kind: PvfKind, corpus: &[(Benchmark, Vec<TrialRecord>)]) {
 }
 
 fn main() {
-    // Must run before anything else: in `--isolate` worker mode this
-    // process serves trials over the warden socket and never returns.
-    bench::maybe_run_worker();
-    let telemetry = bench::telemetry_from_args();
-    let cfg = RunConfig::from_env();
-    let store = StoreArgs::from_args();
-    bench::monitor_from_args(&store);
+    let bench::Figure { cfg, store, telemetry } = bench::figure_setup();
     println!("Figures 6a/6b reproduction — time-window PVFs");
     println!("trials/benchmark = {}, size = {:?}, seed = {}\n", cfg.trials, cfg.size, cfg.seed);
     // One campaign per benchmark, shared by both tables (a journal-backed

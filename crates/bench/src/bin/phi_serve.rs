@@ -1,0 +1,80 @@
+//! `phi-serve` — the campaign-as-a-service daemon.
+//!
+//! Listens on a Unix socket for `phi-cli` clients: submitted campaign
+//! specs run through a fair-share scheduler over the shared worker pool,
+//! persist under server-assigned ids in the registry root, and stream
+//! status/events to subscribers. A restarted daemon (same `--root`)
+//! resumes interrupted campaigns from their journals; results are
+//! byte-identical to the same specs run directly through a figure binary.
+//!
+//! ```text
+//! phi-serve --socket <path> --root <dir>
+//!           [--max-active N]   # fair-share ring capacity   (default 2)
+//!           [--max-queue N]    # admission queue cap        (default 64)
+//!           [--slice N]        # trials per scheduling turn (default 256)
+//! ```
+//!
+//! SIGTERM/SIGKILL are safe at any point: slices are store budgets, so the
+//! journals always hold a resumable prefix. Run one daemon per root.
+
+use serve::{EventBus, ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: phi-serve --socket <path> --root <dir> [--max-active N] [--max-queue N] [--slice N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    // Must run before anything else: isolated campaigns re-exec this
+    // binary, and in worker mode it serves trials and never returns.
+    bench::maybe_run_worker();
+
+    let mut socket: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut cfg_overrides: Vec<(String, usize)> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = it.next().map(PathBuf::from),
+            "--root" => root = it.next().map(PathBuf::from),
+            "--max-active" | "--max-queue" | "--slice" => {
+                match it.next().and_then(|raw| raw.trim().parse::<usize>().ok()) {
+                    Some(n) if n > 0 => cfg_overrides.push((arg, n)),
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let (Some(socket), Some(root)) = (socket, root) else { usage() };
+    let mut cfg = ServeConfig::new(socket, root);
+    for (flag, n) in cfg_overrides {
+        match flag.as_str() {
+            "--max-active" => cfg.max_active = n,
+            "--max-queue" => cfg.max_queue = n,
+            _ => cfg.slice = n,
+        }
+    }
+
+    // The bus is the process recorder: counters feed the monitor plane and
+    // metrics gauges, events fan out to campaign subscribers.
+    let bus = Arc::new(EventBus::new());
+    obs::install(bus.clone());
+    carolfi::monitor::enable();
+
+    let server = match Server::start(cfg, Arc::new(bench::SpecRunner), bus) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("phi-serve: start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("phi-serve: listening on {} (registry {})", server.socket().display(), server.root().display());
+    // Serve until killed; campaigns survive any exit via their journals.
+    loop {
+        std::thread::park();
+    }
+}

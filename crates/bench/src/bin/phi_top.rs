@@ -13,8 +13,11 @@
 //! phi-top --file <heartbeat.json> [--once] [--json]
 //! ```
 //!
-//! Exits 0 when the campaign reports `finished`, 1 on connection or parse
-//! failures, 2 on usage errors.
+//! Exits 0 when the campaign reports `finished` (or a live `--once`
+//! snapshot shows a started campaign), 1 on connection or parse failures,
+//! 2 on usage errors, 4 when a `--once` snapshot is still `pending` (no
+//! campaign has begun) — scripts polling `--once` can trust a zero exit to
+//! mean real progress data, never an empty table.
 
 use carolfi::monitor::{MonitorRequest, StatusSnapshot};
 use carolfi::warden::{read_frame_blocking, write_frame};
@@ -159,6 +162,21 @@ fn render(s: &StatusSnapshot, clear: bool) {
     let _ = std::io::stdout().flush();
 }
 
+/// Exit code for a `--once` snapshot taken before any campaign started.
+const EXIT_PENDING: i32 = 4;
+
+/// Under `--once`, a `pending` snapshot would render an all-zero table
+/// that scripts could mistake for a finished-instantly campaign; emit it
+/// (JSON consumers still get the frame) but exit non-zero with a
+/// diagnostic.
+fn reject_pending_once(s: &StatusSnapshot, args: &TopArgs) {
+    if args.once && s.kind == "pending" && !s.finished {
+        emit(s, args, false);
+        eprintln!("phi-top: no campaign has started yet (snapshot is pending); retry --once later or stream instead");
+        std::process::exit(EXIT_PENDING);
+    }
+}
+
 fn emit(s: &StatusSnapshot, args: &TopArgs, clear: bool) {
     if args.json {
         match serde_json::to_string(s) {
@@ -182,6 +200,7 @@ fn main() {
         loop {
             let snap = read_heartbeat(path);
             let done = snap.finished;
+            reject_pending_once(&snap, &args);
             emit(&snap, &args, !args.once && !args.json);
             if args.once || done {
                 return;
@@ -210,6 +229,7 @@ fn main() {
             Err(_) => return,
         };
         let done = snap.finished;
+        reject_pending_once(&snap, &args);
         emit(&snap, &args, !args.once && !args.json);
         if args.once || done {
             return;

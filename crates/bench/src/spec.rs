@@ -1,0 +1,399 @@
+//! Campaign specs — the single source of truth for campaign construction.
+//!
+//! A [`CampaignSpec`] is the JSON document `phi-serve` accepts over the
+//! wire, and the figure binaries build the *same* struct from their
+//! `PHI_*` env + store flags before running: every execution path
+//! (in-process, `--isolate`, daemon slice) derives its `CampaignConfig` /
+//! `BeamConfig` / `IsolateConfig` / `StoreConfig` from one
+//! [`ParsedSpec`], which is what makes the daemon's byte-identity
+//! guarantee a structural property instead of a test-enforced hope.
+//!
+//! [`spec_result`] renders the deterministic result document (outcome
+//! counts, fig5-style PVF rows, tolerance analysis, a CRC over the
+//! serialized records); [`render_result`] recomputes it offline from any
+//! journal directory, so `phi-cli render <dir>` of a direct figure-binary
+//! run byte-compares against the daemon's `result.json`.
+
+use crate::{RunConfig, StoreArgs, WorkerSpec};
+use beamsim::{run_beam_campaign_isolated, run_beam_campaign_stored, BeamCampaign, BeamConfig};
+use carolfi::models::FaultModel;
+use carolfi::orchestrator::{StoreConfig, StoredRun};
+use carolfi::record::TrialRecord;
+use carolfi::{run_campaign_isolated, run_campaign_stored, CampaignConfig, IsolateConfig};
+use kernels::{build, golden, Benchmark, SizeClass};
+use sdc_analysis::pvf::{by_model, PvfKind};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// One campaign, fully specified. This is the daemon's wire spec and the
+/// figure binaries' internal campaign description; see the module docs.
+///
+/// All fields are required on the wire (the vendored serde has no
+/// `#[serde(default)]`); `phi-cli submit` fills defaults client-side from
+/// the same `PHI_*` env the figure binaries read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// `"inject"` (CAROL-FI fault injection) or `"beam"` (strike simulation).
+    pub kind: String,
+    /// Benchmark label (see [`Benchmark::from_label`]).
+    pub benchmark: String,
+    /// Trials (injection) or strikes (beam).
+    pub trials: usize,
+    pub seed: u64,
+    /// Size-class tag: `test`, `small` or `paper`.
+    pub size: String,
+    /// Journal shard count (aggregates are bit-identical for any value).
+    pub shards: usize,
+    /// Run every trial in a supervised child process.
+    pub isolate: bool,
+    /// Fault-model subset by label (`single`/`double`/`random`/`zero`);
+    /// empty = all four. Injection only, incompatible with `isolate`.
+    pub models: Vec<String>,
+    /// SDC relative-error tolerance for the result document's
+    /// `sdc_beyond_tolerance` count (0 = every SDC counts).
+    pub tolerance: f64,
+}
+
+/// Builds the spec a figure binary's env + flags describe — the shared
+/// constructor `phi-cli submit` and the stored-run helpers both use.
+pub fn campaign_spec(kind: &str, b: Benchmark, cfg: &RunConfig, store: &StoreArgs) -> CampaignSpec {
+    CampaignSpec {
+        kind: kind.to_string(),
+        benchmark: b.label().to_string(),
+        trials: if kind == "beam" { cfg.strikes } else { cfg.trials },
+        seed: cfg.seed,
+        size: cfg.size_tag().to_string(),
+        shards: store.shards,
+        isolate: store.isolate,
+        models: Vec::new(),
+        tolerance: 0.0,
+    }
+}
+
+/// A validated spec with its labels resolved against the registries.
+pub struct ParsedSpec {
+    pub spec: CampaignSpec,
+    pub benchmark: Benchmark,
+    pub size: SizeClass,
+    /// Resolved model subset; the full set when `spec.models` is empty.
+    pub models: Vec<FaultModel>,
+}
+
+fn model_from_label(label: &str) -> Option<FaultModel> {
+    FaultModel::ALL.into_iter().find(|m| m.label() == label)
+}
+
+/// Parses and validates a JSON spec; `Err` is a client-facing reason.
+pub fn parse_spec(json: &str) -> Result<ParsedSpec, String> {
+    let spec: CampaignSpec = serde_json::from_str(json).map_err(|e| format!("malformed spec JSON: {e}"))?;
+    validate_spec(spec)
+}
+
+/// Validates an already-decoded spec.
+pub fn validate_spec(spec: CampaignSpec) -> Result<ParsedSpec, String> {
+    if spec.kind != "inject" && spec.kind != "beam" {
+        return Err(format!("kind: expected \"inject\" or \"beam\", got {:?}", spec.kind));
+    }
+    let Some(benchmark) = Benchmark::from_label(&spec.benchmark) else {
+        return Err(format!("benchmark: unknown label {:?}", spec.benchmark));
+    };
+    let size = match spec.size.as_str() {
+        "test" => SizeClass::Test,
+        "small" => SizeClass::Small,
+        "paper" => SizeClass::Paper,
+        other => return Err(format!("size: expected test, small or paper, got {other:?}")),
+    };
+    if spec.trials == 0 {
+        return Err("trials: must be at least 1".into());
+    }
+    if spec.shards == 0 {
+        return Err("shards: must be at least 1".into());
+    }
+    if !(spec.tolerance.is_finite() && spec.tolerance >= 0.0) {
+        return Err(format!("tolerance: must be a finite non-negative number, got {}", spec.tolerance));
+    }
+    let models = if spec.models.is_empty() {
+        FaultModel::ALL.to_vec()
+    } else {
+        if spec.kind == "beam" {
+            return Err("models: beam campaigns draw their own mechanisms; model subsets apply to inject only".into());
+        }
+        if spec.isolate {
+            // Isolated workers rebuild the default model rotation from the
+            // WorkerSpec, which does not carry a subset; refusing beats
+            // running a different campaign than the one submitted.
+            return Err("models: subsets are not supported together with isolate".into());
+        }
+        spec.models
+            .iter()
+            .map(|l| model_from_label(l).ok_or_else(|| format!("models: unknown fault model {l:?}")))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    Ok(ParsedSpec { spec, benchmark, size, models })
+}
+
+impl ParsedSpec {
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            trials: self.spec.trials,
+            models: self.models.clone(),
+            seed: self.spec.seed,
+            n_windows: self.benchmark.n_windows(),
+            ..Default::default()
+        }
+    }
+
+    pub fn beam_config(&self) -> BeamConfig {
+        BeamConfig {
+            strikes: self.spec.trials,
+            seed: self.spec.seed,
+            n_windows: self.benchmark.n_windows(),
+            engine: beamsim::campaign::engine_for(self.benchmark.label()),
+            ..Default::default()
+        }
+    }
+
+    /// Store configuration rooted at `dir`. `resume`/`budget` vary per
+    /// invocation (a daemon slice is resume-if-journal-exists plus a slice
+    /// budget; a figure binary passes its `--resume`/`--budget` flags).
+    pub fn store_config(&self, dir: &Path, resume: bool, budget: Option<usize>) -> StoreConfig {
+        let mut sc = StoreConfig::new(dir.to_path_buf());
+        sc.shards = self.spec.shards;
+        sc.resume = resume;
+        sc.budget = budget;
+        sc
+    }
+
+    /// Isolation settings: re-exec the current executable as a warden
+    /// worker carrying this spec's [`WorkerSpec`] identity.
+    pub fn isolate_config(&self) -> io::Result<IsolateConfig> {
+        let ws = WorkerSpec {
+            kind: self.spec.kind.clone(),
+            benchmark: self.spec.benchmark.clone(),
+            size: self.spec.size.clone(),
+            count: self.spec.trials,
+            seed: self.spec.seed,
+        };
+        let ws = serde_json::to_string(&ws).map_err(io::Error::other)?;
+        let exe = std::env::current_exe()?;
+        let mut iso = IsolateConfig::new(exe, Vec::new(), ws);
+        iso.trial_wall =
+            std::time::Duration::from_millis(crate::positive_env("PHI_TRIAL_WALL_MS", 30_000) as u64);
+        Ok(iso)
+    }
+}
+
+/// Outcome of executing (a slice of) a spec against a journal directory.
+pub enum SpecRun {
+    /// Budget exhausted; the journal holds a resumable prefix.
+    Paused { completed: u64, total: usize },
+    Inject(Vec<TrialRecord>),
+    Beam(BeamCampaign),
+}
+
+/// Executes a spec against `dir` — the one dispatch point over
+/// kind × isolation every caller (figure binaries, daemon slices) shares.
+pub fn run_spec(p: &ParsedSpec, dir: &Path, resume: bool, budget: Option<usize>) -> io::Result<SpecRun> {
+    let sc = p.store_config(dir, resume, budget);
+    let (b, size, label) = (p.benchmark, p.size, p.benchmark.label());
+    let paused = |completed, total| SpecRun::Paused { completed, total };
+    if p.spec.kind == "beam" {
+        let bcfg = p.beam_config();
+        let run = if p.spec.isolate {
+            let total_steps = build(b, size).total_steps().max(1);
+            run_beam_campaign_isolated(label, total_steps, &bcfg, &sc, &p.isolate_config()?)?
+        } else {
+            let g = {
+                let _span = obs::span!("golden");
+                golden(b, size)
+            };
+            run_beam_campaign_stored(label, || build(b, size), &g, &bcfg, &sc)?
+        };
+        Ok(match run {
+            StoredRun::Paused { completed, total } => paused(completed, total),
+            StoredRun::Complete(c) => SpecRun::Beam(c),
+        })
+    } else {
+        let ccfg = p.campaign_config();
+        let run = if p.spec.isolate {
+            let total_steps = build(b, size).total_steps().max(1);
+            run_campaign_isolated(label, total_steps, &ccfg, &sc, &p.isolate_config()?)?
+        } else {
+            let g = {
+                let _span = obs::span!("golden");
+                golden(b, size)
+            };
+            run_campaign_stored(label, || build(b, size), &g, &ccfg, &sc)?
+        };
+        Ok(match run {
+            StoredRun::Paused { completed, total } => paused(completed, total),
+            StoredRun::Complete(c) => SpecRun::Inject(c.records),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic result documents.
+
+/// One fig5-style PVF row: label column plus one ` {:8.1}` percentage per
+/// fault model — shared by `fig5_fault_models` and the result documents so
+/// the daemon's aggregates are byte-comparable against figure output.
+pub fn pvf_row(label: &str, records: &[TrialRecord], kind: PvfKind) -> String {
+    let table = by_model(records, kind);
+    let mut row = format!("{label:9}");
+    for m in FaultModel::ALL {
+        let pct = table.get(m).map(|p| p.percent()).unwrap_or(0.0);
+        row.push_str(&format!(" {pct:8.1}"));
+    }
+    row
+}
+
+/// The deterministic aggregate document persisted as a campaign's
+/// `result.json`. Field order is fixed by declaration order, so two
+/// documents built from identical records serialize byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecResult {
+    pub kind: String,
+    pub benchmark: String,
+    pub trials: usize,
+    pub seed: u64,
+    pub masked: u64,
+    pub hw_masked: u64,
+    pub sdc: u64,
+    pub due: u64,
+    /// Fig5-style PVF rows ([`pvf_row`]); empty for beam campaigns (their
+    /// records carry no injection fault model).
+    pub sdc_pvf_row: String,
+    pub due_pvf_row: String,
+    pub tolerance: f64,
+    /// SDCs whose worst per-element relative error exceeds `tolerance`
+    /// (paper §5 tolerance analysis; non-finite corruption always counts).
+    pub sdc_beyond_tolerance: u64,
+    pub records: u64,
+    /// CRC-32 over the newline-terminated serialized records in global
+    /// trial order — the byte-identity digest of the whole campaign.
+    pub records_crc: u32,
+}
+
+/// Renders the result document for a completed campaign.
+pub fn spec_result(kind: &str, benchmark: &str, seed: u64, tolerance: f64, records: &[TrialRecord]) -> String {
+    let mut masked = 0u64;
+    let mut hw_masked = 0u64;
+    let mut sdc = 0u64;
+    let mut due = 0u64;
+    let mut beyond = 0u64;
+    let mut bytes = Vec::new();
+    for r in records {
+        match &r.outcome {
+            carolfi::record::OutcomeRecord::Masked => masked += 1,
+            carolfi::record::OutcomeRecord::HardwareMasked => hw_masked += 1,
+            carolfi::record::OutcomeRecord::Sdc(diff) => {
+                sdc += 1;
+                if diff.max_rel_err > tolerance || diff.max_rel_err.is_nan() {
+                    beyond += 1;
+                }
+            }
+            carolfi::record::OutcomeRecord::Due(_) => due += 1,
+        }
+        bytes.extend_from_slice(serde_json::to_string(r).expect("trial records serialize").as_bytes());
+        bytes.push(b'\n');
+    }
+    let (sdc_pvf_row, due_pvf_row) = if kind == "inject" {
+        (pvf_row(benchmark, records, PvfKind::Sdc), pvf_row(benchmark, records, PvfKind::Due))
+    } else {
+        (String::new(), String::new())
+    };
+    let result = SpecResult {
+        kind: kind.to_string(),
+        benchmark: benchmark.to_string(),
+        trials: records.len(),
+        seed,
+        masked,
+        hw_masked,
+        sdc,
+        due,
+        sdc_pvf_row,
+        due_pvf_row,
+        tolerance,
+        sdc_beyond_tolerance: beyond,
+        records: records.len() as u64,
+        records_crc: store::crc32(&bytes),
+    };
+    serde_json::to_string(&result).expect("spec results serialize")
+}
+
+// ---------------------------------------------------------------------------
+// Offline journal readers (byte-compare tooling).
+
+/// Reads a complete journal's trial records in global trial order,
+/// reconstructed from the shard plan (shard ranges are contiguous; global
+/// index = range start + shard-local seq). Errors on incomplete journals.
+pub fn journal_records(dir: &Path) -> io::Result<(store::CampaignMeta, Vec<TrialRecord>)> {
+    let scan = store::Journal::scan(dir)?;
+    let meta = scan
+        .meta
+        .clone()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("{}: empty journal", dir.display())))?;
+    let plan = store::ShardPlan { trials: meta.trials, shards: meta.shards };
+    let mut slots: Vec<Option<TrialRecord>> = vec![None; meta.trials];
+    for entry in &scan.entries {
+        if let store::JournalEntry::Trial { shard, seq, payload } = entry {
+            let global = plan.range(*shard).start + *seq as usize;
+            let record: TrialRecord = serde_json::from_str(payload).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{}: bad trial payload: {e}", dir.display()))
+            })?;
+            if global < slots.len() {
+                slots[global] = Some(record);
+            }
+        }
+    }
+    let done = slots.iter().filter(|s| s.is_some()).count();
+    if done < meta.trials {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: journal incomplete ({done}/{} trials)", dir.display(), meta.trials),
+        ));
+    }
+    Ok((meta, slots.into_iter().map(|s| s.expect("checked complete")).collect()))
+}
+
+/// Recomputes the result document from a journal directory — the offline
+/// counterpart of what the daemon persists, for byte-comparison.
+pub fn render_result(dir: &Path, tolerance: f64) -> io::Result<String> {
+    let (meta, records) = journal_records(dir)?;
+    Ok(spec_result(&meta.kind, &meta.benchmark, meta.seed, tolerance, &records))
+}
+
+// ---------------------------------------------------------------------------
+// The daemon's runner.
+
+/// [`serve::Runner`] over real campaigns: validates specs with
+/// [`parse_spec`] and executes slices through [`run_spec`] — the same
+/// code path as the figure binaries, which is the byte-identity guarantee.
+pub struct SpecRunner;
+
+impl serve::Runner for SpecRunner {
+    fn validate(&self, spec: &str) -> Result<serve::SpecInfo, String> {
+        let p = parse_spec(spec)?;
+        Ok(serve::SpecInfo {
+            kind: p.spec.kind.clone(),
+            benchmark: p.spec.benchmark.clone(),
+            total: p.spec.trials as u64,
+        })
+    }
+
+    fn run_slice(&self, spec: &str, journal: &Path, budget: usize) -> io::Result<serve::SliceRun> {
+        let p = parse_spec(spec).map_err(io::Error::other)?;
+        let resume = store::Journal::exists(journal);
+        match run_spec(&p, journal, resume, Some(budget))? {
+            SpecRun::Paused { completed, .. } => Ok(serve::SliceRun::Paused { completed }),
+            SpecRun::Inject(records) => Ok(serve::SliceRun::Complete {
+                result: spec_result("inject", &p.spec.benchmark, p.spec.seed, p.spec.tolerance, &records),
+            }),
+            SpecRun::Beam(campaign) => Ok(serve::SliceRun::Complete {
+                result: spec_result("beam", &p.spec.benchmark, p.spec.seed, p.spec.tolerance, &campaign.records),
+            }),
+        }
+    }
+}

@@ -421,14 +421,46 @@ pub enum MonitorRequest {
     Subscribe { interval_ms: u64 },
 }
 
-/// Binds `path` and serves [`StatusSnapshot`] frames from a detached
-/// background thread (it must never gate campaign shutdown, so it is not
-/// joined; the socket file dies with the process's temp hygiene). Implies
-/// [`enable`].
+/// Claims a Unix-socket path for a new listener without stealing it from a
+/// live process: a stale socket file (its owner died without unlinking) is
+/// cleaned and re-bound, but a path something still answers on — or any
+/// non-socket file — is an `AddrInUse` error naming the conflict. Blindly
+/// `remove_file`-then-bind would silently hijack a running campaign's
+/// monitor endpoint.
+pub fn claim_socket(path: &Path) -> std::io::Result<UnixListener> {
+    use std::os::unix::fs::FileTypeExt;
+    match std::fs::symlink_metadata(path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+        Ok(meta) if !meta.file_type().is_socket() => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("{} exists and is not a socket; refusing to replace it", path.display()),
+            ));
+        }
+        Ok(_) => match UnixStream::connect(path) {
+            // Someone answered: the endpoint is alive, do not steal it.
+            Ok(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("{} is already served by a live process", path.display()),
+                ));
+            }
+            // Nobody listening behind the file: stale leftover, clean it.
+            Err(_) => std::fs::remove_file(path)?,
+        },
+    }
+    UnixListener::bind(path)
+}
+
+/// Binds `path` (via [`claim_socket`] — stale socket files are cleaned,
+/// live endpoints are an error instead of being silently stolen) and serves
+/// [`StatusSnapshot`] frames from a detached background thread (it must
+/// never gate campaign shutdown, so it is not joined; the socket file dies
+/// with the process's temp hygiene). Implies [`enable`].
 pub fn serve_monitor(path: &Path) -> std::io::Result<()> {
     enable();
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
+    let listener = claim_socket(path)?;
     std::thread::Builder::new().name("phi-monitor".into()).spawn(move || {
         for conn in listener.incoming() {
             let Ok(stream) = conn else { continue };

@@ -57,8 +57,10 @@ pub const SOCKET_ENV: &str = "PHI_WARDEN_SOCKET";
 /// the embedding binary encodes whatever it needs to rebuild `run_one`).
 pub const SPEC_ENV: &str = "PHI_WARDEN_SPEC";
 
-/// Frames larger than this are protocol corruption, not data.
-const MAX_FRAME: usize = 16 << 20;
+/// Frames larger than this are protocol corruption, not data. Shared by
+/// every warden-framed endpoint (supervision sockets, `--monitor`,
+/// `phi-serve`).
+pub const MAX_FRAME: usize = 16 << 20;
 
 /// Heartbeat period while a trial is executing.
 const HEARTBEAT_EVERY: Duration = Duration::from_millis(25);

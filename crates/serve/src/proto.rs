@@ -1,0 +1,97 @@
+//! Wire protocol of the campaign service.
+//!
+//! Frames reuse the warden codec — 4-byte little-endian length prefix, JSON
+//! body, [`MAX_FRAME`](carolfi::warden::MAX_FRAME) cap — so every endpoint
+//! in the system (supervision sockets, `--monitor`, `phi-serve`) speaks one
+//! framing. A connection carries one [`ClientRequest`] and its replies:
+//! every verb answers with exactly one [`ServerReply`] frame except
+//! `Events`, which streams `Event`/`Gauges` frames and terminates with
+//! `Done` once the campaign reaches a terminal state.
+
+use carolfi::monitor::StatusSnapshot;
+use carolfi::warden::{read_frame_blocking, write_frame, MetricsFrame};
+use serde::{Deserialize, Serialize};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Default period between `Gauges` frames on an `Events` subscription.
+pub const DEFAULT_GAUGE_MS: u64 = 1000;
+
+/// Client → daemon verbs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientRequest {
+    /// Submit a campaign spec (opaque JSON, validated by the daemon's
+    /// runner). Answered with `Submitted` or `Rejected`.
+    Submit { spec: String },
+    /// One status frame for a campaign id.
+    Status { id: String },
+    /// Status of every registered campaign.
+    List,
+    /// Stream the campaign's obs events plus a `Gauges` frame every
+    /// `gauge_ms` until it reaches a terminal state (then `Done`).
+    Events { id: String, gauge_ms: u64 },
+    /// The campaign's result document. `wait_ms` > 0 blocks until the
+    /// campaign terminates or the deadline passes (then `Error`);
+    /// `wait_ms` = 0 answers immediately.
+    Result { id: String, wait_ms: u64 },
+    /// Cancel a campaign: immediately when queued, at the next slice
+    /// boundary when running. Answered with its (updated) status.
+    Cancel { id: String },
+}
+
+/// One campaign's externally visible state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStatus {
+    pub id: String,
+    /// `queued` / `running` / `done` / `failed` / `cancelled`.
+    pub state: String,
+    pub kind: String,
+    pub benchmark: String,
+    /// Trials journaled so far, as of the last slice boundary (0 for a
+    /// just-recovered campaign until its first slice runs).
+    pub completed: u64,
+    pub total: u64,
+    /// Failure reason; empty unless `state` is `failed`.
+    pub error: String,
+}
+
+/// Daemon → client frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServerReply {
+    /// Admission granted; the campaign is registered under `id`.
+    Submitted { id: String },
+    /// Admission denied (queue full, invalid spec, shutting down).
+    Rejected { reason: String },
+    Status { status: CampaignStatus },
+    List { campaigns: Vec<CampaignStatus> },
+    /// One obs event attributed to the subscribed campaign (`kind` is the
+    /// obs event kind, e.g. `trial`; `payload` its JSON).
+    Event { id: String, kind: String, payload: String },
+    /// Periodic live gauges on an `Events` subscription: the campaign's
+    /// registry status, the process-wide monitor snapshot (the slice the
+    /// shared pool is executing *right now*, which under fair-share may
+    /// belong to another campaign), and the merged metrics. Boxed: the
+    /// snapshot dwarfs every other variant.
+    Gauges { status: CampaignStatus, live: Box<StatusSnapshot>, metrics: MetricsFrame },
+    /// The campaign's result document, verbatim.
+    Result { id: String, result: String },
+    /// The verb could not be answered (unknown id, timeout, failure).
+    Error { reason: String },
+    /// End of an `Events` stream: the campaign is terminal.
+    Done,
+}
+
+/// One-shot client call: connect, send `req`, read a single reply.
+pub fn roundtrip(socket: &Path, req: &ClientRequest) -> std::io::Result<ServerReply> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, req)?;
+    read_frame_blocking(&mut stream)
+}
+
+/// Opens a streaming `Events` subscription; read replies off the returned
+/// stream with [`read_frame_blocking`] until `Done`.
+pub fn subscribe(socket: &Path, id: &str, gauge_ms: u64) -> std::io::Result<UnixStream> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, &ClientRequest::Events { id: id.to_string(), gauge_ms })?;
+    Ok(stream)
+}

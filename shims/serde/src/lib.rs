@@ -153,6 +153,12 @@ impl<T: Serialize> Serialize for Vec<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
         match self {
@@ -390,6 +396,12 @@ pub mod __private {
             let v: Vec<T> = Vec::from_content(c)?;
             let n = v.len();
             v.try_into().map_err(|_| ContentError(format!("expected array of length {N}, found {n}")))
+        }
+    }
+
+    impl<T: FromContent> FromContent for Box<T> {
+        fn from_content(c: &Content) -> Result<Self, ContentError> {
+            T::from_content(c).map(Box::new)
         }
     }
 

@@ -13,15 +13,20 @@
 //! * [`fit`] — FIT/MTBF algebra, cross-sections, machine-scale
 //!   extrapolation (§4.2: Trinity and exascale projections);
 //! * [`stats`] — confidence intervals (Wilson binomial, Poisson exact
-//!   approximation) backing the paper's error bars.
+//!   approximation) backing the paper's error bars;
+//! * [`planner`] — adaptive stratified campaign planning: per-stratum
+//!   Wilson intervals with widest-CI-first batch allocation and CI-driven
+//!   early stopping, driven by the `carolfi` adaptive orchestrator.
 
 pub mod fit;
+pub mod planner;
 pub mod pvf;
 pub mod spatial;
 pub mod stats;
 pub mod tolerance;
 
 pub use fit::{FitEstimate, MachineProjection};
+pub use planner::WilsonPlanner;
 pub use pvf::{OutcomeBreakdown, PvfTable};
 pub use spatial::SpatialPattern;
 pub use tolerance::ToleranceCurve;

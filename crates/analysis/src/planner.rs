@@ -1,0 +1,289 @@
+//! Adaptive stratified campaign planner (DESIGN.md §12).
+//!
+//! The paper sizes every injection campaign to a fixed trial count chosen
+//! for the *worst-case* stratum (§6's 10 000-trial rule), which wastes
+//! trials on strata whose outcome mix converges early and under-samples the
+//! rare ones. [`WilsonPlanner`] treats PVF estimation as a two-level
+//! sampling problem instead: the trial horizon is stratified by
+//! (fault model × time window), each stratum maintains a 95 % Wilson score
+//! interval per outcome class (masked / hw-masked / SDC / DUE), every batch
+//! goes to the stratum whose widest interval is widest, and a stratum
+//! closes once all four intervals are inside the target width.
+//!
+//! Determinism contract (what the adaptive orchestrator's journal replay
+//! relies on): a planner's decision sequence is a pure function of its
+//! construction parameters and the sequence of records fed to
+//! [`AllocationPlanner::observe`]. Nothing here reads a clock, an RNG or
+//! global state; ties between equally wide strata resolve to the lowest
+//! stratum index.
+
+use crate::stats::wilson95;
+use carolfi::adaptive::{AllocationPlanner, PlanDecision};
+use carolfi::campaign::{trial_stratum, CampaignConfig};
+use carolfi::monitor::PlannerStatus;
+use carolfi::record::{OutcomeRecord, TrialRecord};
+
+/// Default trials per allocation decision. Small enough that the planner
+/// re-evaluates interval widths frequently, large enough to keep the worker
+/// pool busy between decisions.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// One stratum's sampling state.
+struct Stratum {
+    label: String,
+    /// Trial indices belonging to this stratum, ascending. The prefix up to
+    /// `cursor` has been handed out in previous batches.
+    members: Vec<usize>,
+    cursor: usize,
+    n: usize,
+    masked: usize,
+    hw_masked: usize,
+    sdc: usize,
+    due: usize,
+}
+
+impl Stratum {
+    /// Widest 95 % Wilson interval across the four outcome classes — the
+    /// quantity the planner drives below the target. 1.0 before the first
+    /// observation.
+    fn width(&self) -> f64 {
+        [self.masked, self.hw_masked, self.sdc, self.due]
+            .into_iter()
+            .map(|k| {
+                let iv = wilson95(k, self.n);
+                iv.hi - iv.lo
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Widest-CI-first allocation over a stratified trial horizon.
+pub struct WilsonPlanner {
+    /// Target full interval width; a stratum is *open* while any class
+    /// interval is wider.
+    target: f64,
+    batch: usize,
+    /// Stratum index of every trial in the horizon.
+    assignment: Vec<usize>,
+    strata: Vec<Stratum>,
+    batches: u64,
+}
+
+impl WilsonPlanner {
+    /// Planner over an explicit stratification: `assignment[trial]` is the
+    /// stratum (an index into `labels`) of each trial in the horizon.
+    pub fn new(labels: Vec<String>, assignment: Vec<usize>, target_ci: f64, batch: usize) -> Self {
+        assert!(target_ci > 0.0 && target_ci < 1.0, "target CI width must be in (0, 1), got {target_ci}");
+        assert!(batch > 0, "batch size must be positive");
+        let mut strata: Vec<Stratum> = labels
+            .into_iter()
+            .map(|label| Stratum { label, members: Vec::new(), cursor: 0, n: 0, masked: 0, hw_masked: 0, sdc: 0, due: 0 })
+            .collect();
+        for (trial, &s) in assignment.iter().enumerate() {
+            strata[s].members.push(trial);
+        }
+        WilsonPlanner { target: target_ci, batch, assignment, strata, batches: 0 }
+    }
+
+    /// Stratifies the full horizon of an injection campaign by
+    /// (fault model × time window), using the same per-index derivation the
+    /// campaign runner performs ([`trial_stratum`]) — so a trial lands in
+    /// the stratum it would occupy in the fixed-count run, bit for bit.
+    pub fn for_injection(cfg: &CampaignConfig, total_steps: usize, target_ci: f64, batch: usize) -> Self {
+        let n_windows = cfg.n_windows.max(1);
+        let mut labels = Vec::with_capacity(cfg.models.len() * n_windows);
+        for model in &cfg.models {
+            for w in 0..n_windows {
+                labels.push(format!("{}/w{w}", model.label()));
+            }
+        }
+        let assignment = (0..cfg.trials)
+            .map(|t| {
+                let (m, w) = trial_stratum(cfg, total_steps, t);
+                m * n_windows + w
+            })
+            .collect();
+        WilsonPlanner::new(labels, assignment, target_ci, batch)
+    }
+
+    /// Strata whose widest class interval still exceeds the target.
+    fn open_count(&self) -> u64 {
+        self.strata.iter().filter(|s| s.width() > self.target).count() as u64
+    }
+}
+
+impl AllocationPlanner for WilsonPlanner {
+    fn observe(&mut self, record: &TrialRecord) {
+        let s = &mut self.strata[self.assignment[record.trial]];
+        s.n += 1;
+        match &record.outcome {
+            OutcomeRecord::Masked => s.masked += 1,
+            OutcomeRecord::HardwareMasked => s.hw_masked += 1,
+            OutcomeRecord::Sdc(_) => s.sdc += 1,
+            OutcomeRecord::Due(_) => s.due += 1,
+        }
+    }
+
+    fn next_batch(&mut self) -> Option<PlanDecision> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.strata.iter().enumerate() {
+            if s.cursor >= s.members.len() {
+                continue; // exhausted its share of the horizon
+            }
+            let w = s.width();
+            if w <= self.target {
+                continue; // converged
+            }
+            // Strict `>`: ties resolve to the lowest stratum index.
+            if best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((i, w));
+            }
+        }
+        let (i, widest_ci) = best?;
+        let strata_open = self.open_count();
+        let s = &mut self.strata[i];
+        let take = self.batch.min(s.members.len() - s.cursor);
+        let trials = s.members[s.cursor..s.cursor + take].to_vec();
+        s.cursor += take;
+        let decision =
+            PlanDecision { batch: self.batches, stratum: s.label.clone(), widest_ci, strata_open, trials };
+        self.batches += 1;
+        Some(decision)
+    }
+
+    fn gauges(&self) -> PlannerStatus {
+        PlannerStatus {
+            strata_total: self.strata.len() as u64,
+            strata_open: self.open_count(),
+            widest_ci: self.strata.iter().map(Stratum::width).fold(0.0, f64::max),
+            batches: self.batches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(trial: usize, outcome: OutcomeRecord) -> TrialRecord {
+        TrialRecord {
+            trial,
+            benchmark: "synthetic".into(),
+            model: None,
+            mechanism: "synthetic".into(),
+            inject_step: 0,
+            total_steps: 1,
+            window: 0,
+            n_windows: 1,
+            injection: None,
+            outcome,
+            executed_steps: 1,
+        }
+    }
+
+    /// Two strata: trials alternate between them.
+    fn two_strata(horizon: usize, batch: usize, ci: f64) -> WilsonPlanner {
+        let assignment: Vec<usize> = (0..horizon).map(|t| t % 2).collect();
+        WilsonPlanner::new(vec!["a".into(), "b".into()], assignment, ci, batch)
+    }
+
+    #[test]
+    fn allocation_prefers_the_widest_stratum() {
+        let mut p = two_strata(1000, 4, 0.05);
+        // First decision: both strata at width 1.0, tie resolves to "a".
+        let d0 = p.next_batch().unwrap();
+        assert_eq!(d0.stratum, "a");
+        assert_eq!(d0.batch, 0);
+        assert_eq!(d0.trials, vec![0, 2, 4, 6]);
+        // Feed "a" deterministic outcomes; "b" stays at width 1.0 and must
+        // be picked next.
+        for &t in &d0.trials {
+            p.observe(&record(t, OutcomeRecord::Masked));
+        }
+        let d1 = p.next_batch().unwrap();
+        assert_eq!(d1.stratum, "b");
+        assert!((d1.widest_ci - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strata_close_at_the_target_width_and_the_planner_converges() {
+        let mut p = two_strata(4000, 50, 0.1);
+        let mut executed = 0usize;
+        while let Some(d) = p.next_batch() {
+            for &t in &d.trials {
+                // All-masked outcomes: p̂ = 0 and 1 per class, the
+                // fastest-converging case.
+                p.observe(&record(t, OutcomeRecord::Masked));
+            }
+            executed += d.trials.len();
+            assert!(executed <= 4000, "planner over-allocated");
+        }
+        let g = p.gauges();
+        assert_eq!(g.strata_open, 0, "both strata should converge");
+        assert!(g.widest_ci <= 0.1);
+        // Early stopping: convergence at p̂ = 0 takes ~40 trials per
+        // stratum, far below the 4000-trial horizon.
+        assert!(executed < 400, "executed {executed} trials, expected early stop");
+    }
+
+    #[test]
+    fn exhausted_strata_stop_allocating_but_stay_open() {
+        // Stratum "a" holds only 3 trials — too few to converge at 1%.
+        let assignment = vec![0, 0, 0, 1, 1, 1, 1, 1, 1, 1];
+        let mut p = WilsonPlanner::new(vec!["a".into(), "b".into()], assignment, 0.01, 2);
+        let mut from_a = 0;
+        while let Some(d) = p.next_batch() {
+            if d.stratum == "a" {
+                from_a += d.trials.len();
+            }
+            for &t in &d.trials {
+                p.observe(&record(t, OutcomeRecord::Masked));
+            }
+        }
+        assert_eq!(from_a, 3, "allocations from a stratum never exceed its population");
+        // Neither stratum can reach a 1% interval with ≤7 trials; the
+        // planner stops by exhaustion and reports the strata still open.
+        assert_eq!(p.gauges().strata_open, 2);
+    }
+
+    #[test]
+    fn decision_sequence_is_a_pure_function_of_observations() {
+        let run = |flip: bool| {
+            let mut p = two_strata(600, 8, 0.2);
+            let mut decisions = Vec::new();
+            while let Some(d) = p.next_batch() {
+                for &t in &d.trials {
+                    let outcome = if flip && t % 5 == 0 {
+                        OutcomeRecord::Due(carolfi::record::DueKind::Timeout)
+                    } else {
+                        OutcomeRecord::Masked
+                    };
+                    p.observe(&record(t, outcome));
+                }
+                decisions.push(d);
+            }
+            decisions
+        };
+        assert_eq!(run(false), run(false), "identical observations, identical decisions");
+        assert_ne!(run(false), run(true), "different outcomes must steer allocation");
+    }
+
+    #[test]
+    fn injection_stratification_matches_the_campaign_derivation() {
+        let cfg = CampaignConfig { trials: 256, ..CampaignConfig::default() };
+        let total_steps = 37;
+        let p = WilsonPlanner::for_injection(&cfg, total_steps, 0.05, DEFAULT_BATCH);
+        assert_eq!(p.strata.len(), cfg.models.len() * cfg.n_windows);
+        assert_eq!(p.assignment.len(), cfg.trials);
+        for trial in [0usize, 1, 17, 255] {
+            let (m, w) = trial_stratum(&cfg, total_steps, trial);
+            assert_eq!(p.assignment[trial], m * cfg.n_windows + w);
+        }
+        // Every trial is in exactly one stratum and members are ascending.
+        let total: usize = p.strata.iter().map(|s| s.members.len()).sum();
+        assert_eq!(total, cfg.trials);
+        for s in &p.strata {
+            assert!(s.members.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

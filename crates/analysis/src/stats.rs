@@ -114,6 +114,32 @@ mod tests {
     }
 
     #[test]
+    fn wilson_bounds_match_published_reference_values() {
+        // Reference values of the 95 % Wilson score interval (z = 1.95996…)
+        // as tabulated in the standard literature (Wilson 1927; Brown, Cai
+        // & DasGupta 2001, "Interval Estimation for a Binomial
+        // Proportion"), at n = 10/100/1000 for p̂ = 0, 0.05 and 0.5. These
+        // pins also freeze the planner's stopping rule: a stratum's target
+        // width is measured on exactly these bounds.
+        let cases: &[(usize, usize, f64, f64)] = &[
+            // (successes, trials, lo, hi)
+            (0, 10, 0.0, 0.277533),
+            (0, 100, 0.0, 0.036993),
+            (0, 1000, 0.0, 0.003827),
+            (5, 100, 0.021544, 0.111750),
+            (50, 1000, 0.038130, 0.065314),
+            (5, 10, 0.236593, 0.763407),
+            (50, 100, 0.403832, 0.596168),
+            (500, 1000, 0.469070, 0.530930),
+        ];
+        for &(k, n, lo, hi) in cases {
+            let iv = wilson95(k, n);
+            assert!((iv.lo - lo).abs() < 1e-6, "wilson95({k}, {n}).lo = {}, reference {lo}", iv.lo);
+            assert!((iv.hi - hi).abs() < 1e-6, "wilson95({k}, {n}).hi = {}, reference {hi}", iv.hi);
+        }
+    }
+
+    #[test]
     fn wilson_tightens_with_more_trials() {
         let a = wilson95(10, 100);
         let b = wilson95(100, 1000);

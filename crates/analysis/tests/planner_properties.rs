@@ -1,0 +1,118 @@
+//! Property-based tests for the adaptive planner (DESIGN.md §12): the
+//! decision sequence must be a pure function of (stratification, target,
+//! batch size, observed records) — which is exactly what lets the adaptive
+//! orchestrator replay a truncated journal and re-derive the identical
+//! next-batch decisions after an interruption.
+
+use carolfi::adaptive::{AllocationPlanner, PlanDecision};
+use carolfi::record::{DueKind, OutcomeRecord, TrialRecord};
+use proptest::prelude::*;
+use sdc_analysis::planner::WilsonPlanner;
+
+/// Deterministic synthetic outcome: a pure hash of (seed, trial), standing
+/// in for the (equally deterministic) execute_trial result.
+fn outcome_for(seed: u64, trial: usize) -> OutcomeRecord {
+    let h = (seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    match (h >> 32) % 10 {
+        0..=5 => OutcomeRecord::Masked,
+        6..=7 => OutcomeRecord::HardwareMasked,
+        _ => OutcomeRecord::Due(DueKind::Timeout),
+    }
+}
+
+fn rec(trial: usize, outcome: OutcomeRecord) -> TrialRecord {
+    TrialRecord {
+        trial,
+        benchmark: "synthetic".into(),
+        model: None,
+        mechanism: "synthetic".into(),
+        inject_step: 0,
+        total_steps: 1,
+        window: 0,
+        n_windows: 1,
+        injection: None,
+        outcome,
+        executed_steps: 1,
+    }
+}
+
+/// Runs a planner to completion, returning the journal-shaped trace:
+/// each decision paired with the records observed for it.
+fn full_run(
+    labels: &[String],
+    assignment: &[usize],
+    target: f64,
+    batch: usize,
+    seed: u64,
+) -> Vec<(PlanDecision, Vec<TrialRecord>)> {
+    let mut p = WilsonPlanner::new(labels.to_vec(), assignment.to_vec(), target, batch);
+    let mut journal = Vec::new();
+    while let Some(d) = p.next_batch() {
+        let recs: Vec<TrialRecord> = d.trials.iter().map(|&t| rec(t, outcome_for(seed, t))).collect();
+        for r in &recs {
+            p.observe(r);
+        }
+        journal.push((d, recs));
+    }
+    journal
+}
+
+proptest! {
+    /// Replaying any truncated journal prefix re-derives the identical
+    /// decision sequence, including the first post-truncation decision —
+    /// the invariant the adaptive orchestrator's resume path checks
+    /// against the journaled `Plan` entries.
+    #[test]
+    fn truncated_journal_replay_re_derives_identical_decisions(
+        seed in any::<u64>(),
+        horizon in 50usize..300,
+        batch in 1usize..12,
+        strata in 1usize..6,
+        cut_sel in 0usize..1000,
+    ) {
+        let labels: Vec<String> = (0..strata).map(|i| format!("s{i}")).collect();
+        let assignment: Vec<usize> = (0..horizon).map(|t| t % strata).collect();
+        let target = 0.15;
+        let journal = full_run(&labels, &assignment, target, batch, seed);
+        prop_assert!(!journal.is_empty());
+
+        let cut = cut_sel % journal.len();
+        let mut q = WilsonPlanner::new(labels, assignment, target, batch);
+        for (d, recs) in &journal[..cut] {
+            let replayed = q.next_batch().expect("replay ended before the journal did");
+            prop_assert_eq!(&replayed, d);
+            for r in recs {
+                q.observe(r);
+            }
+        }
+        let next = q.next_batch().expect("journal holds a decision the replay cannot derive");
+        prop_assert_eq!(&next, &journal[cut].0);
+    }
+
+    /// End-to-end purity: two full runs over the same inputs produce the
+    /// same decisions, the planner never allocates a trial twice, and
+    /// every allocated index is inside the horizon.
+    #[test]
+    fn full_runs_are_deterministic_and_gapless(
+        seed in any::<u64>(),
+        horizon in 50usize..300,
+        batch in 1usize..12,
+        strata in 1usize..6,
+    ) {
+        let labels: Vec<String> = (0..strata).map(|i| format!("s{i}")).collect();
+        let assignment: Vec<usize> = (0..horizon).map(|t| t % strata).collect();
+        let a = full_run(&labels, &assignment, 0.15, batch, seed);
+        let b = full_run(&labels, &assignment, 0.15, batch, seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.0, &y.0);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (d, _) in &a {
+            for &t in &d.trials {
+                prop_assert!(t < horizon, "trial {} outside horizon {}", t, horizon);
+                prop_assert!(seen.insert(t), "trial {} allocated twice", t);
+            }
+        }
+    }
+}

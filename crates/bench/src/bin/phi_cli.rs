@@ -4,6 +4,8 @@
 //! phi-cli submit --socket <s> --kind inject|beam --benchmark <label>
 //!                [--trials N] [--seed N] [--size test|small|paper]
 //!                [--shards N] [--isolate] [--model <m>]... [--tolerance F]
+//!                [--adaptive] [--ci F]
+//! phi-cli submit --socket <s> --spec-file <path>   # raw spec JSON, as-is
 //! phi-cli status --socket <s> <id>
 //! phi-cli list   --socket <s>
 //! phi-cli events --socket <s> <id> [--gauges-ms N]
@@ -16,20 +18,32 @@
 //! `submit` defaults come from the same `PHI_*` env the figure binaries
 //! read (`PHI_TRIALS`/`PHI_STRIKES`/`PHI_SIZE`/`PHI_SEED`), built through
 //! the shared [`bench::campaign_spec`] constructor — one source of truth
-//! for what a spec means. The offline verbs read any phi-store journal
+//! for what a spec means. `--adaptive`/`--ci` produce a version-2 spec
+//! with a `plan` block; `--spec-file` submits a JSON document verbatim
+//! (no client-side validation), which is how `./ci` probes the server's
+//! own version admission. The offline verbs read any phi-store journal
 //! (a figure binary's `--store` directory or a daemon campaign's
 //! `journal/`), which is how `./ci` byte-compares daemon output against
-//! direct runs.
+//! direct runs; the rendered result document's `spec_version` field
+//! reports which spec semantics (1 = fixed-count, 2 = adaptive) the
+//! journal was produced under.
 //!
 //! Exits 0 on success, 1 on daemon-reported errors or I/O failures, 2 on
-//! usage errors. `events` prints one JSON object per line (`Event` and
+//! usage errors, and [`EXIT_REJECTED`] (3) when the server rejects a
+//! submitted spec — the server's reason is echoed verbatim on stderr, and
+//! the distinct code lets scripts tell a rejection from a transport
+//! failure. `events` prints one JSON object per line (`Event` and
 //! `Gauges` frames verbatim) until the campaign is terminal.
 
-use bench::{RunConfig, StoreArgs};
+use bench::{CampaignKind, RunConfig, StoreArgs};
 use carolfi::warden::read_frame_blocking;
 use kernels::Benchmark;
 use serve::proto::{roundtrip, subscribe, ClientRequest, ServerReply, DEFAULT_GAUGE_MS};
 use std::path::PathBuf;
+
+/// Exit code for a server-side spec rejection (distinct from transport
+/// errors, which exit 1).
+const EXIT_REJECTED: i32 = 3;
 
 fn usage() -> ! {
     eprintln!("usage: phi-cli <submit|status|list|events|result|cancel> --socket <path> [args]");
@@ -56,6 +70,9 @@ struct Args {
     isolate: bool,
     models: Vec<String>,
     tolerance: f64,
+    adaptive: bool,
+    ci: f64,
+    spec_file: Option<PathBuf>,
     wait: bool,
     timeout_ms: u64,
     gauges_ms: u64,
@@ -78,6 +95,9 @@ fn parse_args() -> Args {
         isolate: false,
         models: Vec::new(),
         tolerance: 0.0,
+        adaptive: false,
+        ci: 0.01,
+        spec_file: None,
         wait: false,
         timeout_ms: 600_000,
         gauges_ms: DEFAULT_GAUGE_MS,
@@ -110,6 +130,12 @@ fn parse_args() -> Args {
                 Some(f) if f.is_finite() && f >= 0.0 => a.tolerance = f,
                 _ => usage(),
             },
+            "--adaptive" => a.adaptive = true,
+            "--ci" => match it.next().and_then(|r| r.trim().parse::<f64>().ok()) {
+                Some(f) if f.is_finite() && f > 0.0 && f < 1.0 => a.ci = f,
+                _ => usage(),
+            },
+            "--spec-file" => a.spec_file = it.next().map(PathBuf::from),
             "--wait" => a.wait = true,
             "--timeout-ms" => a.timeout_ms = positive(it.next(), "--timeout-ms") as u64,
             "--gauges-ms" => a.gauges_ms = positive(it.next(), "--gauges-ms") as u64,
@@ -128,14 +154,26 @@ fn parse_args() -> Args {
 }
 
 /// Builds the submit spec: figure-binary defaults from the `PHI_*` env
-/// (via the shared constructor), then the explicit flags on top.
+/// (via the shared constructor), then the explicit flags on top. With
+/// `--spec-file` the file's JSON is submitted verbatim instead — no
+/// client-side construction or validation, so the server's own admission
+/// (including version rejection) is what the caller observes.
 fn build_spec(a: &Args) -> String {
+    if let Some(path) = &a.spec_file {
+        return std::fs::read_to_string(path)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|e| fatal(format!("read spec file {}: {e}", path.display())));
+    }
     let Some(label) = &a.benchmark else {
-        eprintln!("phi-cli: submit requires --benchmark <label>");
+        eprintln!("phi-cli: submit requires --benchmark <label> (or --spec-file <path>)");
         std::process::exit(2);
     };
     let Some(b) = Benchmark::from_label(label) else {
         fatal(format!("unknown benchmark {label:?}"));
+    };
+    let Some(kind) = CampaignKind::from_label(&a.kind) else {
+        eprintln!("phi-cli: --kind: expected inject or beam, got {:?}", a.kind);
+        std::process::exit(2);
     };
     let mut cfg = RunConfig::from_env();
     if let Some(t) = a.trials {
@@ -145,8 +183,14 @@ fn build_spec(a: &Args) -> String {
     if let Some(s) = a.seed {
         cfg.seed = s;
     }
-    let store = StoreArgs { shards: a.shards.unwrap_or(8), isolate: a.isolate, ..Default::default() };
-    let mut spec = bench::campaign_spec(&a.kind, b, &cfg, &store);
+    let store = StoreArgs {
+        shards: a.shards.unwrap_or(8),
+        isolate: a.isolate,
+        adaptive: a.adaptive,
+        ci: a.ci,
+        ..Default::default()
+    };
+    let mut spec = bench::campaign_spec(kind, b, &cfg, &store);
     if let Some(size) = &a.size {
         spec.size = size.clone();
     }
@@ -154,7 +198,8 @@ fn build_spec(a: &Args) -> String {
     spec.tolerance = a.tolerance;
     // Validate client-side for a usable diagnostic before the RPC.
     if let Err(reason) = bench::validate_spec(spec.clone()) {
-        fatal(format!("invalid spec: {reason}"));
+        eprintln!("invalid spec: {reason}");
+        std::process::exit(EXIT_REJECTED);
     }
     serde_json::to_string(&spec).unwrap_or_else(|e| fatal(format!("serialize spec: {e}")))
 }
@@ -185,7 +230,14 @@ fn main() {
             let spec = build_spec(&a);
             match roundtrip(require_socket(&a), &ClientRequest::Submit { spec }) {
                 Ok(ServerReply::Submitted { id }) => println!("{id}"),
-                Ok(ServerReply::Rejected { reason }) => fatal(format!("rejected: {reason}")),
+                Ok(ServerReply::Rejected { reason }) => {
+                    // The server's reason, verbatim — no prefix — so
+                    // scripts and humans see exactly what admission said;
+                    // the exit code distinguishes this from transport
+                    // failures (which exit 1).
+                    eprintln!("{reason}");
+                    std::process::exit(EXIT_REJECTED);
+                }
                 Ok(other) => fatal(format!("unexpected reply {other:?}")),
                 Err(e) => fatal(format!("submit: {e}")),
             }

@@ -122,6 +122,12 @@ fn render(s: &StatusSnapshot, clear: bool) {
         s.mix.masked, s.mix.hw_masked, s.mix.sdc, s.mix.due
     ));
     out.push_str(&format!("  pool      hits {}   rebuilds {}\n", s.pool_hits, s.pool_rebuilds));
+    if let Some(p) = &s.planner {
+        out.push_str(&format!(
+            "  planner   strata {}/{} open   widest ci {:.4}   batches {}\n",
+            p.strata_open, p.strata_total, p.widest_ci, p.batches
+        ));
+    }
     let w = &s.workers;
     out.push_str(&format!(
         "  workers   spawned {}   killed {}   retries {}   quarantined {}   metric-frames {}\n",

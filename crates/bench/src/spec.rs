@@ -8,42 +8,157 @@
 //! [`ParsedSpec`], which is what makes the daemon's byte-identity
 //! guarantee a structural property instead of a test-enforced hope.
 //!
+//! ## Wire versioning
+//!
+//! The spec wire format is versioned (DESIGN.md §12.3). A document without
+//! a `version` key is version 1 — the original fixed-trial-count format,
+//! which still parses and serializes byte-for-byte unchanged. Version 2
+//! adds the optional `plan` block configuring the adaptive stratified
+//! planner ([`PlanSpec`]); unknown versions are rejected at admission with
+//! a reason naming the supported set. This module is the *only* place spec
+//! JSON is parsed or emitted — `phi-cli`, `phi-serve` and the figure
+//! binaries all route through [`parse_spec`] / [`validate_spec`].
+//!
 //! [`spec_result`] renders the deterministic result document (outcome
 //! counts, fig5-style PVF rows, tolerance analysis, a CRC over the
 //! serialized records); [`render_result`] recomputes it offline from any
-//! journal directory, so `phi-cli render <dir>` of a direct figure-binary
-//! run byte-compares against the daemon's `result.json`.
+//! journal directory — including adaptive decision-ordered journals — so
+//! `phi-cli render <dir>` of a direct figure-binary run byte-compares
+//! against the daemon's `result.json`.
 
 use crate::{RunConfig, StoreArgs, WorkerSpec};
 use beamsim::{run_beam_campaign_isolated, run_beam_campaign_stored, BeamCampaign, BeamConfig};
 use carolfi::models::FaultModel;
 use carolfi::orchestrator::{StoreConfig, StoredRun};
 use carolfi::record::TrialRecord;
-use carolfi::{run_campaign_isolated, run_campaign_stored, CampaignConfig, IsolateConfig};
+use carolfi::{run_campaign_adaptive, run_campaign_isolated, run_campaign_stored, CampaignConfig, IsolateConfig};
 use kernels::{build, golden, Benchmark, SizeClass};
+use sdc_analysis::planner::{WilsonPlanner, DEFAULT_BATCH};
 use sdc_analysis::pvf::{by_model, PvfKind};
+use serde::__private::{as_map, field, field_content, to_content, Content, ContentError, FromContent};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
+/// The two campaign families a spec can describe. Serializes to the
+/// original wire strings (`"inject"` / `"beam"`), so the enum is invisible
+/// on the wire — it only replaces the stringly-typed dispatch in code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// CAROL-FI fault injection.
+    Inject,
+    /// Beam-strike simulation.
+    Beam,
+}
+
+impl CampaignKind {
+    /// The wire/cache/journal tag of this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignKind::Inject => "inject",
+            CampaignKind::Beam => "beam",
+        }
+    }
+
+    /// Resolves a wire tag; `None` for anything but `inject`/`beam`.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "inject" => Some(CampaignKind::Inject),
+            "beam" => Some(CampaignKind::Beam),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for CampaignKind {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.label())
+    }
+}
+
+impl FromContent for CampaignKind {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        let label = String::from_content(c)?;
+        CampaignKind::from_label(&label)
+            .ok_or_else(|| ContentError::msg(&format!("kind: expected \"inject\" or \"beam\", got {label:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for CampaignKind {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.content()?;
+        CampaignKind::from_content(&c).map_err(<D::Error as serde::de::Error>::custom)
+    }
+}
+
+/// Adaptive-planner configuration — the `plan` block of a version-2 spec.
+///
+/// Present ⇒ the campaign runs under the widest-CI-first stratified
+/// planner ([`WilsonPlanner`]) instead of executing the full fixed trial
+/// count: `trials` becomes the *horizon* (upper bound), and the campaign
+/// stops early once every (fault model × time window) stratum's 95 %
+/// Wilson interval per outcome class is narrower than `ci`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSpec {
+    /// Target full CI width per stratum per outcome class, in (0, 1).
+    pub ci: f64,
+    /// Trials per allocation decision (default [`DEFAULT_BATCH`]).
+    pub batch: usize,
+}
+
+impl Serialize for PlanSpec {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let m = vec![
+            ("ci".to_string(), Content::F64(self.ci)),
+            ("batch".to_string(), Content::U64(self.batch as u64)),
+        ];
+        s.serialize_content(Content::Map(m))
+    }
+}
+
+impl FromContent for PlanSpec {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        let m = as_map(c).map_err(|e| ContentError::msg(&format!("plan: {e}")))?;
+        let ci: f64 = field(m, "ci").map_err(|e| ContentError::msg(&format!("plan: {e}")))?;
+        let batch = match field_content(m, "batch") {
+            Ok(v) => usize::from_content(v).map_err(|e| ContentError::msg(&format!("plan: field \"batch\": {e}")))?,
+            Err(_) => DEFAULT_BATCH,
+        };
+        Ok(PlanSpec { ci, batch })
+    }
+}
+
+impl<'de> Deserialize<'de> for PlanSpec {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.content()?;
+        PlanSpec::from_content(&c).map_err(<D::Error as serde::de::Error>::custom)
+    }
+}
+
 /// One campaign, fully specified. This is the daemon's wire spec and the
 /// figure binaries' internal campaign description; see the module docs.
 ///
-/// All fields are required on the wire (the vendored serde has no
-/// `#[serde(default)]`); `phi-cli submit` fills defaults client-side from
-/// the same `PHI_*` env the figure binaries read.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// All version-1 fields are required on the wire; `phi-cli submit` fills
+/// defaults client-side from the same `PHI_*` env the figure binaries
+/// read. `version` and `plan` are the version-2 extensions: both are
+/// omitted from serialized version-1 specs, so a v1 document round-trips
+/// byte-identically through this struct.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
-    /// `"inject"` (CAROL-FI fault injection) or `"beam"` (strike simulation).
-    pub kind: String,
+    pub kind: CampaignKind,
+    /// Wire-format version; absent on the wire ⇒ 1. [`validate_spec`]
+    /// rejects anything outside the supported set {1, 2} with a reason.
+    pub version: u32,
     /// Benchmark label (see [`Benchmark::from_label`]).
     pub benchmark: String,
-    /// Trials (injection) or strikes (beam).
+    /// Trials (injection) or strikes (beam); under an adaptive `plan` this
+    /// is the horizon — the planner may stop well short of it.
     pub trials: usize,
     pub seed: u64,
     /// Size-class tag: `test`, `small` or `paper`.
     pub size: String,
     /// Journal shard count (aggregates are bit-identical for any value).
+    /// Adaptive campaigns journal single-sharded regardless.
     pub shards: usize,
     /// Run every trial in a supervised child process.
     pub isolate: bool,
@@ -53,25 +168,97 @@ pub struct CampaignSpec {
     /// SDC relative-error tolerance for the result document's
     /// `sdc_beyond_tolerance` count (0 = every SDC counts).
     pub tolerance: f64,
+    /// Adaptive-planner block (version 2 only).
+    pub plan: Option<PlanSpec>,
+}
+
+impl Serialize for CampaignSpec {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Hand-rolled so the version-1 byte layout is preserved exactly:
+        // the original field order, no `version` key for v1, and `plan`
+        // only when present.
+        let err = <S::Error as serde::ser::Error>::custom;
+        let mut m: Vec<(String, Content)> = Vec::with_capacity(11);
+        m.push(("kind".into(), to_content(&self.kind).map_err(err)?));
+        if self.version != 1 {
+            m.push(("version".into(), Content::U64(self.version as u64)));
+        }
+        m.push(("benchmark".into(), Content::Str(self.benchmark.clone())));
+        m.push(("trials".into(), Content::U64(self.trials as u64)));
+        m.push(("seed".into(), Content::U64(self.seed)));
+        m.push(("size".into(), Content::Str(self.size.clone())));
+        m.push(("shards".into(), Content::U64(self.shards as u64)));
+        m.push(("isolate".into(), Content::Bool(self.isolate)));
+        m.push(("models".into(), to_content(&self.models).map_err(err)?));
+        m.push(("tolerance".into(), Content::F64(self.tolerance)));
+        if let Some(plan) = &self.plan {
+            m.push(("plan".into(), to_content(plan).map_err(err)?));
+        }
+        s.serialize_content(Content::Map(m))
+    }
+}
+
+impl FromContent for CampaignSpec {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        let m = as_map(c)?;
+        // `version` is carried through as-parsed; range-checking it is
+        // validate_spec's job, so the rejection reason reaches clients
+        // verbatim instead of wrapped in a parse diagnostic.
+        let version = match field_content(m, "version") {
+            Ok(v) => u32::from_content(v).map_err(|e| ContentError::msg(&format!("field \"version\": {e}")))?,
+            Err(_) => 1,
+        };
+        let plan = match field_content(m, "plan") {
+            Ok(Content::Null) => None,
+            Ok(v) => Some(PlanSpec::from_content(v)?),
+            Err(_) => None,
+        };
+        Ok(CampaignSpec {
+            kind: field(m, "kind")?,
+            version,
+            benchmark: field(m, "benchmark")?,
+            trials: field(m, "trials")?,
+            seed: field(m, "seed")?,
+            size: field(m, "size")?,
+            shards: field(m, "shards")?,
+            isolate: field(m, "isolate")?,
+            models: field(m, "models")?,
+            tolerance: field(m, "tolerance")?,
+            plan,
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for CampaignSpec {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.content()?;
+        CampaignSpec::from_content(&c).map_err(<D::Error as serde::de::Error>::custom)
+    }
 }
 
 /// Builds the spec a figure binary's env + flags describe — the shared
 /// constructor `phi-cli submit` and the stored-run helpers both use.
-pub fn campaign_spec(kind: &str, b: Benchmark, cfg: &RunConfig, store: &StoreArgs) -> CampaignSpec {
+/// `--adaptive`/`--ci` flags become a version-2 `plan` block; without them
+/// the spec is version 1, bit-identical to what earlier releases emitted.
+pub fn campaign_spec(kind: CampaignKind, b: Benchmark, cfg: &RunConfig, store: &StoreArgs) -> CampaignSpec {
+    let plan = store.adaptive.then_some(PlanSpec { ci: store.ci, batch: DEFAULT_BATCH });
     CampaignSpec {
-        kind: kind.to_string(),
+        kind,
+        version: if plan.is_some() { 2 } else { 1 },
         benchmark: b.label().to_string(),
-        trials: if kind == "beam" { cfg.strikes } else { cfg.trials },
+        trials: if kind == CampaignKind::Beam { cfg.strikes } else { cfg.trials },
         seed: cfg.seed,
         size: cfg.size_tag().to_string(),
         shards: store.shards,
         isolate: store.isolate,
         models: Vec::new(),
         tolerance: 0.0,
+        plan,
     }
 }
 
 /// A validated spec with its labels resolved against the registries.
+#[derive(Debug)]
 pub struct ParsedSpec {
     pub spec: CampaignSpec,
     pub benchmark: Benchmark,
@@ -92,8 +279,8 @@ pub fn parse_spec(json: &str) -> Result<ParsedSpec, String> {
 
 /// Validates an already-decoded spec.
 pub fn validate_spec(spec: CampaignSpec) -> Result<ParsedSpec, String> {
-    if spec.kind != "inject" && spec.kind != "beam" {
-        return Err(format!("kind: expected \"inject\" or \"beam\", got {:?}", spec.kind));
+    if spec.version != 1 && spec.version != 2 {
+        return Err(format!("unsupported spec version {} (supported: 1, 2; absent = 1)", spec.version));
     }
     let Some(benchmark) = Benchmark::from_label(&spec.benchmark) else {
         return Err(format!("benchmark: unknown label {:?}", spec.benchmark));
@@ -113,10 +300,32 @@ pub fn validate_spec(spec: CampaignSpec) -> Result<ParsedSpec, String> {
     if !(spec.tolerance.is_finite() && spec.tolerance >= 0.0) {
         return Err(format!("tolerance: must be a finite non-negative number, got {}", spec.tolerance));
     }
+    if let Some(plan) = &spec.plan {
+        if spec.version < 2 {
+            return Err("plan: adaptive planning requires spec version 2".into());
+        }
+        if spec.kind == CampaignKind::Beam {
+            return Err("plan: adaptive planning stratifies by fault model; it applies to inject only".into());
+        }
+        if spec.isolate {
+            return Err("plan: adaptive planning is not supported together with isolate".into());
+        }
+        if !spec.models.is_empty() {
+            // The adaptive journal's offline reader re-derives strata from
+            // the journal meta alone, which does not carry a model subset.
+            return Err("plan: adaptive planning is not supported together with a models subset".into());
+        }
+        if !(plan.ci.is_finite() && plan.ci > 0.0 && plan.ci < 1.0) {
+            return Err(format!("plan.ci: target CI width must be in (0, 1), got {}", plan.ci));
+        }
+        if plan.batch == 0 {
+            return Err("plan.batch: must be at least 1".into());
+        }
+    }
     let models = if spec.models.is_empty() {
         FaultModel::ALL.to_vec()
     } else {
-        if spec.kind == "beam" {
+        if spec.kind == CampaignKind::Beam {
             return Err("models: beam campaigns draw their own mechanisms; model subsets apply to inject only".into());
         }
         if spec.isolate {
@@ -154,6 +363,19 @@ impl ParsedSpec {
         }
     }
 
+    /// The version stamped into this campaign's result document: 2 when
+    /// the run is adaptive (its journal uses the decision-ordered v2
+    /// layout), 1 otherwise. Derived from execution semantics — not the
+    /// submitted document's `version` field — so [`render_result`] can
+    /// recompute the identical value offline from the journal meta alone.
+    pub fn result_version(&self) -> u32 {
+        if self.spec.plan.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
     /// Store configuration rooted at `dir`. `resume`/`budget` vary per
     /// invocation (a daemon slice is resume-if-journal-exists plus a slice
     /// budget; a figure binary passes its `--resume`/`--budget` flags).
@@ -169,7 +391,7 @@ impl ParsedSpec {
     /// worker carrying this spec's [`WorkerSpec`] identity.
     pub fn isolate_config(&self) -> io::Result<IsolateConfig> {
         let ws = WorkerSpec {
-            kind: self.spec.kind.clone(),
+            kind: self.spec.kind.label().to_string(),
             benchmark: self.spec.benchmark.clone(),
             size: self.spec.size.clone(),
             count: self.spec.trials,
@@ -193,43 +415,75 @@ pub enum SpecRun {
 }
 
 /// Executes a spec against `dir` — the one dispatch point over
-/// kind × isolation every caller (figure binaries, daemon slices) shares.
+/// kind × isolation × planning every caller (figure binaries, daemon
+/// slices) shares.
 pub fn run_spec(p: &ParsedSpec, dir: &Path, resume: bool, budget: Option<usize>) -> io::Result<SpecRun> {
     let sc = p.store_config(dir, resume, budget);
     let (b, size, label) = (p.benchmark, p.size, p.benchmark.label());
     let paused = |completed, total| SpecRun::Paused { completed, total };
-    if p.spec.kind == "beam" {
-        let bcfg = p.beam_config();
-        let run = if p.spec.isolate {
-            let total_steps = build(b, size).total_steps().max(1);
-            run_beam_campaign_isolated(label, total_steps, &bcfg, &sc, &p.isolate_config()?)?
-        } else {
-            let g = {
-                let _span = obs::span!("golden");
-                golden(b, size)
+    match p.spec.kind {
+        CampaignKind::Beam => {
+            let bcfg = p.beam_config();
+            let run = if p.spec.isolate {
+                let total_steps = build(b, size).total_steps().max(1);
+                run_beam_campaign_isolated(label, total_steps, &bcfg, &sc, &p.isolate_config()?)?
+            } else {
+                let g = {
+                    let _span = obs::span!("golden");
+                    golden(b, size)
+                };
+                run_beam_campaign_stored(label, || build(b, size), &g, &bcfg, &sc)?
             };
-            run_beam_campaign_stored(label, || build(b, size), &g, &bcfg, &sc)?
-        };
-        Ok(match run {
-            StoredRun::Paused { completed, total } => paused(completed, total),
-            StoredRun::Complete(c) => SpecRun::Beam(c),
-        })
-    } else {
-        let ccfg = p.campaign_config();
-        let run = if p.spec.isolate {
-            let total_steps = build(b, size).total_steps().max(1);
-            run_campaign_isolated(label, total_steps, &ccfg, &sc, &p.isolate_config()?)?
-        } else {
-            let g = {
-                let _span = obs::span!("golden");
-                golden(b, size)
+            Ok(match run {
+                StoredRun::Paused { completed, total } => paused(completed, total),
+                StoredRun::Complete(c) => SpecRun::Beam(c),
+            })
+        }
+        CampaignKind::Inject => {
+            let ccfg = p.campaign_config();
+            let run = if let Some(plan) = &p.spec.plan {
+                let total_steps = build(b, size).total_steps().max(1);
+                let mut planner = WilsonPlanner::for_injection(&ccfg, total_steps, plan.ci, plan.batch);
+                let g = {
+                    let _span = obs::span!("golden");
+                    golden(b, size)
+                };
+                let run = run_campaign_adaptive(label, || build(b, size), &g, &ccfg, &sc, &mut planner)?;
+                if let StoredRun::Complete(c) = &run {
+                    // One stderr line per completed adaptive campaign so
+                    // humans (and ./ci) can read the early-stopping verdict
+                    // without parsing the result document.
+                    let r = &c.report;
+                    if r.strata_open == 0 {
+                        eprintln!(
+                            "{label}: adaptive planner closed every stratum at ci <= {} after {} of {} trials",
+                            plan.ci,
+                            c.records.len(),
+                            p.spec.trials
+                        );
+                    } else {
+                        eprintln!(
+                            "{label}: adaptive planner exhausted its horizon with {}/{} strata open (widest ci {:.4})",
+                            r.strata_open, r.strata_total, r.widest_ci
+                        );
+                    }
+                }
+                run
+            } else if p.spec.isolate {
+                let total_steps = build(b, size).total_steps().max(1);
+                run_campaign_isolated(label, total_steps, &ccfg, &sc, &p.isolate_config()?)?
+            } else {
+                let g = {
+                    let _span = obs::span!("golden");
+                    golden(b, size)
+                };
+                run_campaign_stored(label, || build(b, size), &g, &ccfg, &sc)?
             };
-            run_campaign_stored(label, || build(b, size), &g, &ccfg, &sc)?
-        };
-        Ok(match run {
-            StoredRun::Paused { completed, total } => paused(completed, total),
-            StoredRun::Complete(c) => SpecRun::Inject(c.records),
-        })
+            Ok(match run {
+                StoredRun::Paused { completed, total } => paused(completed, total),
+                StoredRun::Complete(c) => SpecRun::Inject(c.records),
+            })
+        }
     }
 }
 
@@ -254,8 +508,14 @@ pub fn pvf_row(label: &str, records: &[TrialRecord], kind: PvfKind) -> String {
 /// documents built from identical records serialize byte-identically.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpecResult {
-    pub kind: String,
+    pub kind: CampaignKind,
+    /// Version of the campaign semantics this document was rendered under:
+    /// 2 for adaptive (early-stopped, decision-ordered) campaigns, 1 for
+    /// fixed-count.
+    pub spec_version: u32,
     pub benchmark: String,
+    /// Trials actually executed — under an adaptive plan this is where the
+    /// planner stopped, not the horizon.
     pub trials: usize,
     pub seed: u64,
     pub masked: u64,
@@ -272,12 +532,20 @@ pub struct SpecResult {
     pub sdc_beyond_tolerance: u64,
     pub records: u64,
     /// CRC-32 over the newline-terminated serialized records in global
-    /// trial order — the byte-identity digest of the whole campaign.
+    /// trial order (decision order for adaptive campaigns) — the
+    /// byte-identity digest of the whole campaign.
     pub records_crc: u32,
 }
 
 /// Renders the result document for a completed campaign.
-pub fn spec_result(kind: &str, benchmark: &str, seed: u64, tolerance: f64, records: &[TrialRecord]) -> String {
+pub fn spec_result(
+    kind: CampaignKind,
+    spec_version: u32,
+    benchmark: &str,
+    seed: u64,
+    tolerance: f64,
+    records: &[TrialRecord],
+) -> String {
     let mut masked = 0u64;
     let mut hw_masked = 0u64;
     let mut sdc = 0u64;
@@ -299,13 +567,14 @@ pub fn spec_result(kind: &str, benchmark: &str, seed: u64, tolerance: f64, recor
         bytes.extend_from_slice(serde_json::to_string(r).expect("trial records serialize").as_bytes());
         bytes.push(b'\n');
     }
-    let (sdc_pvf_row, due_pvf_row) = if kind == "inject" {
+    let (sdc_pvf_row, due_pvf_row) = if kind == CampaignKind::Inject {
         (pvf_row(benchmark, records, PvfKind::Sdc), pvf_row(benchmark, records, PvfKind::Due))
     } else {
         (String::new(), String::new())
     };
     let result = SpecResult {
-        kind: kind.to_string(),
+        kind,
+        spec_version,
         benchmark: benchmark.to_string(),
         trials: records.len(),
         seed,
@@ -328,23 +597,53 @@ pub fn spec_result(kind: &str, benchmark: &str, seed: u64, tolerance: f64, recor
 
 /// Reads a complete journal's trial records in global trial order,
 /// reconstructed from the shard plan (shard ranges are contiguous; global
-/// index = range start + shard-local seq). Errors on incomplete journals.
+/// index = range start + shard-local seq). Adaptive journals
+/// (`meta.version ≥ 2`) are single-sharded and decision-ordered: records
+/// come back in journal order, complete once the shard is sealed. Errors
+/// on incomplete journals.
 pub fn journal_records(dir: &Path) -> io::Result<(store::CampaignMeta, Vec<TrialRecord>)> {
     let scan = store::Journal::scan(dir)?;
     let meta = scan
         .meta
         .clone()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("{}: empty journal", dir.display())))?;
+    let parse = |payload: &str| -> io::Result<TrialRecord> {
+        serde_json::from_str(payload).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: bad trial payload: {e}", dir.display()))
+        })
+    };
+    if meta.version >= store::ADAPTIVE_FORMAT_VERSION {
+        // Adaptive campaigns stop early, so the journal's own record
+        // sequence — not the horizon in `meta.trials` — defines the
+        // campaign; "complete" is the planner's seal, not a trial count.
+        let mut records = Vec::new();
+        let mut sealed = false;
+        for entry in &scan.entries {
+            match entry {
+                store::JournalEntry::Trial { payload, .. } => records.push(parse(payload)?),
+                store::JournalEntry::ShardDone { .. } => sealed = true,
+                _ => {}
+            }
+        }
+        if !sealed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: adaptive journal incomplete ({} trials executed, not sealed)",
+                    dir.display(),
+                    records.len()
+                ),
+            ));
+        }
+        return Ok((meta, records));
+    }
     let plan = store::ShardPlan { trials: meta.trials, shards: meta.shards };
     let mut slots: Vec<Option<TrialRecord>> = vec![None; meta.trials];
     for entry in &scan.entries {
         if let store::JournalEntry::Trial { shard, seq, payload } = entry {
             let global = plan.range(*shard).start + *seq as usize;
-            let record: TrialRecord = serde_json::from_str(payload).map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("{}: bad trial payload: {e}", dir.display()))
-            })?;
             if global < slots.len() {
-                slots[global] = Some(record);
+                slots[global] = Some(parse(payload)?);
             }
         }
     }
@@ -359,10 +658,17 @@ pub fn journal_records(dir: &Path) -> io::Result<(store::CampaignMeta, Vec<Trial
 }
 
 /// Recomputes the result document from a journal directory — the offline
-/// counterpart of what the daemon persists, for byte-comparison.
+/// counterpart of what the daemon persists, for byte-comparison. The
+/// rendered `spec_version` is derived from the journal format (adaptive
+/// v2 journals render as spec version 2), matching what the executing
+/// path stamped.
 pub fn render_result(dir: &Path, tolerance: f64) -> io::Result<String> {
     let (meta, records) = journal_records(dir)?;
-    Ok(spec_result(&meta.kind, &meta.benchmark, meta.seed, tolerance, &records))
+    let kind = CampaignKind::from_label(&meta.kind).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("{}: unknown campaign kind {:?}", dir.display(), meta.kind))
+    })?;
+    let version = if meta.version >= store::ADAPTIVE_FORMAT_VERSION { 2 } else { 1 };
+    Ok(spec_result(kind, version, &meta.benchmark, meta.seed, tolerance, &records))
 }
 
 // ---------------------------------------------------------------------------
@@ -377,7 +683,7 @@ impl serve::Runner for SpecRunner {
     fn validate(&self, spec: &str) -> Result<serve::SpecInfo, String> {
         let p = parse_spec(spec)?;
         Ok(serve::SpecInfo {
-            kind: p.spec.kind.clone(),
+            kind: p.spec.kind.label().to_string(),
             benchmark: p.spec.benchmark.clone(),
             total: p.spec.trials as u64,
         })
@@ -386,14 +692,152 @@ impl serve::Runner for SpecRunner {
     fn run_slice(&self, spec: &str, journal: &Path, budget: usize) -> io::Result<serve::SliceRun> {
         let p = parse_spec(spec).map_err(io::Error::other)?;
         let resume = store::Journal::exists(journal);
+        let version = p.result_version();
         match run_spec(&p, journal, resume, Some(budget))? {
             SpecRun::Paused { completed, .. } => Ok(serve::SliceRun::Paused { completed }),
             SpecRun::Inject(records) => Ok(serve::SliceRun::Complete {
-                result: spec_result("inject", &p.spec.benchmark, p.spec.seed, p.spec.tolerance, &records),
+                result: spec_result(
+                    CampaignKind::Inject,
+                    version,
+                    &p.spec.benchmark,
+                    p.spec.seed,
+                    p.spec.tolerance,
+                    &records,
+                ),
             }),
             SpecRun::Beam(campaign) => Ok(serve::SliceRun::Complete {
-                result: spec_result("beam", &p.spec.benchmark, p.spec.seed, p.spec.tolerance, &campaign.records),
+                result: spec_result(
+                    CampaignKind::Beam,
+                    version,
+                    &p.spec.benchmark,
+                    p.spec.seed,
+                    p.spec.tolerance,
+                    &campaign.records,
+                ),
             }),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1_spec() -> CampaignSpec {
+        CampaignSpec {
+            kind: CampaignKind::Inject,
+            version: 1,
+            benchmark: "dgemm".into(),
+            trials: 64,
+            seed: 2017,
+            size: "test".into(),
+            shards: 4,
+            isolate: false,
+            models: Vec::new(),
+            tolerance: 0.0,
+            plan: None,
+        }
+    }
+
+    #[test]
+    fn v1_wire_format_is_byte_compatible() {
+        // The exact document earlier releases emitted: original field
+        // order, no version, no plan.
+        let json = serde_json::to_string(&v1_spec()).unwrap();
+        assert_eq!(
+            json,
+            "{\"kind\":\"inject\",\"benchmark\":\"dgemm\",\"trials\":64,\"seed\":2017,\
+             \"size\":\"test\",\"shards\":4,\"isolate\":false,\"models\":[],\"tolerance\":0.0}"
+        );
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v1_spec());
+    }
+
+    #[test]
+    fn absent_version_means_one() {
+        let p = parse_spec(
+            "{\"kind\":\"beam\",\"benchmark\":\"dgemm\",\"trials\":8,\"seed\":1,\
+             \"size\":\"test\",\"shards\":1,\"isolate\":false,\"models\":[],\"tolerance\":0.0}",
+        )
+        .unwrap();
+        assert_eq!(p.spec.version, 1);
+        assert_eq!(p.spec.kind, CampaignKind::Beam);
+        assert!(p.spec.plan.is_none());
+    }
+
+    #[test]
+    fn v2_spec_with_plan_roundtrips() {
+        let mut spec = v1_spec();
+        spec.version = 2;
+        spec.plan = Some(PlanSpec { ci: 0.05, batch: 16 });
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"version\":2"), "{json}");
+        assert!(json.contains("\"plan\":{\"ci\":0.05,\"batch\":16}"), "{json}");
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert!(validate_spec(back).is_ok());
+    }
+
+    #[test]
+    fn plan_batch_defaults_when_absent() {
+        let p = parse_spec(
+            "{\"kind\":\"inject\",\"version\":2,\"benchmark\":\"dgemm\",\"trials\":64,\"seed\":1,\
+             \"size\":\"test\",\"shards\":1,\"isolate\":false,\"models\":[],\"tolerance\":0.0,\
+             \"plan\":{\"ci\":0.1}}",
+        )
+        .unwrap();
+        assert_eq!(p.spec.plan, Some(PlanSpec { ci: 0.1, batch: DEFAULT_BATCH }));
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_with_a_reason() {
+        let mut spec = v1_spec();
+        spec.version = 3;
+        let err = validate_spec(spec).unwrap_err();
+        assert_eq!(err, "unsupported spec version 3 (supported: 1, 2; absent = 1)");
+    }
+
+    #[test]
+    fn plan_is_rejected_outside_version_2() {
+        let mut spec = v1_spec();
+        spec.plan = Some(PlanSpec { ci: 0.05, batch: 32 });
+        let err = validate_spec(spec).unwrap_err();
+        assert!(err.contains("requires spec version 2"), "{err}");
+    }
+
+    #[test]
+    fn plan_restrictions_are_enforced() {
+        let adaptive = |f: fn(&mut CampaignSpec)| {
+            let mut spec = v1_spec();
+            spec.version = 2;
+            spec.plan = Some(PlanSpec { ci: 0.05, batch: 32 });
+            f(&mut spec);
+            validate_spec(spec).unwrap_err()
+        };
+        assert!(adaptive(|s| s.kind = CampaignKind::Beam).contains("inject only"));
+        assert!(adaptive(|s| s.isolate = true).contains("isolate"));
+        assert!(adaptive(|s| s.models = vec!["single".into()]).contains("models subset"));
+        assert!(adaptive(|s| s.plan = Some(PlanSpec { ci: 1.5, batch: 32 })).contains("plan.ci"));
+        assert!(adaptive(|s| s.plan = Some(PlanSpec { ci: 0.05, batch: 0 })).contains("plan.batch"));
+    }
+
+    #[test]
+    fn malformed_kind_is_rejected() {
+        let err = parse_spec(
+            "{\"kind\":\"laser\",\"benchmark\":\"dgemm\",\"trials\":8,\"seed\":1,\
+             \"size\":\"test\",\"shards\":1,\"isolate\":false,\"models\":[],\"tolerance\":0.0}",
+        )
+        .unwrap_err();
+        assert!(err.contains("expected \"inject\" or \"beam\""), "{err}");
+        assert!(err.contains("laser"), "{err}");
+    }
+
+    #[test]
+    fn result_documents_carry_the_spec_version() {
+        let doc = spec_result(CampaignKind::Inject, 2, "dgemm", 1, 0.0, &[]);
+        assert!(doc.starts_with("{\"kind\":\"inject\",\"spec_version\":2,"), "{doc}");
+        let back: SpecResult = serde_json::from_str(&doc).unwrap();
+        assert_eq!(back.spec_version, 2);
+        assert_eq!(back.kind, CampaignKind::Inject);
     }
 }

@@ -5,7 +5,9 @@
 //! invariant of the daemon.
 
 use bench::spec::journal_records;
-use bench::{render_result, run_spec, spec_result, validate_spec, CampaignSpec, SpecRun, SpecRunner};
+use bench::{
+    render_result, run_spec, spec_result, validate_spec, CampaignKind, CampaignSpec, PlanSpec, SpecRun, SpecRunner,
+};
 use serve::proto::{roundtrip, ClientRequest, ServerReply};
 use serve::{EventBus, ServeConfig, Server};
 use std::path::{Path, PathBuf};
@@ -18,9 +20,10 @@ fn test_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn spec(kind: &str, benchmark: &str, trials: usize, seed: u64) -> CampaignSpec {
+fn spec(kind: CampaignKind, benchmark: &str, trials: usize, seed: u64) -> CampaignSpec {
     CampaignSpec {
-        kind: kind.into(),
+        kind,
+        version: 1,
         benchmark: benchmark.into(),
         trials,
         seed,
@@ -29,18 +32,20 @@ fn spec(kind: &str, benchmark: &str, trials: usize, seed: u64) -> CampaignSpec {
         isolate: false,
         models: Vec::new(),
         tolerance: 0.0,
+        plan: None,
     }
 }
 
 /// Runs a spec directly (no daemon, no slicing) and renders its result.
 fn direct_run(spec: &CampaignSpec, dir: &Path) -> String {
     let parsed = validate_spec(spec.clone()).expect("valid spec");
+    let version = parsed.result_version();
     let records = match run_spec(&parsed, dir, false, None).expect("direct run") {
         SpecRun::Inject(records) => records,
         SpecRun::Beam(campaign) => campaign.records,
         SpecRun::Paused { .. } => panic!("unbudgeted direct run paused"),
     };
-    spec_result(&spec.kind, &spec.benchmark, spec.seed, spec.tolerance, &records)
+    spec_result(spec.kind, version, &spec.benchmark, spec.seed, spec.tolerance, &records)
 }
 
 fn start_server(dir: &Path, max_active: usize, slice: usize) -> Server {
@@ -87,7 +92,7 @@ fn record_bytes(dir: &Path) -> (String, String) {
 #[test]
 fn daemon_campaign_is_byte_identical_to_a_direct_run() {
     let dir = test_dir("byte-identity");
-    let spec = spec("inject", "nw", 24, 91);
+    let spec = spec(CampaignKind::Inject, "nw", 24, 91);
 
     let direct_dir = dir.join("direct");
     let direct_result = direct_run(&spec, &direct_dir);
@@ -121,8 +126,8 @@ fn daemon_campaign_is_byte_identical_to_a_direct_run() {
 #[test]
 fn concurrent_inject_and_beam_campaigns_stay_independent() {
     let dir = test_dir("concurrent");
-    let inject = spec("inject", "hotspot", 16, 77);
-    let beam = spec("beam", "dgemm", 16, 77);
+    let inject = spec(CampaignKind::Inject, "hotspot", 16, 77);
+    let beam = spec(CampaignKind::Beam, "dgemm", 16, 77);
 
     let inject_direct = direct_run(&inject, &dir.join("direct-inject"));
     let beam_direct = direct_run(&beam, &dir.join("direct-beam"));
@@ -143,7 +148,7 @@ fn concurrent_inject_and_beam_campaigns_stay_independent() {
 #[test]
 fn model_subset_campaigns_match_their_direct_run() {
     let dir = test_dir("model-subset");
-    let mut subset = spec("inject", "lud", 12, 5);
+    let mut subset = spec(CampaignKind::Inject, "lud", 12, 5);
     subset.models = vec!["single".into(), "zero".into()];
     subset.tolerance = 1e-6;
 
@@ -151,5 +156,70 @@ fn model_subset_campaigns_match_their_direct_run() {
     let server = start_server(&dir, 1, 5);
     let id = submit(&server, &subset);
     assert_eq!(fetch_result(&server, &id), direct_result);
+    server.stop();
+}
+
+/// An adaptive (version-2, `plan`-bearing) campaign submitted to the
+/// daemon — executed as budgeted slices, each resume replaying the
+/// journaled planner decisions — produces the byte-identical journal and
+/// result document of the same spec run adaptively in one go.
+#[test]
+fn adaptive_daemon_campaign_is_byte_identical_to_a_direct_run() {
+    let dir = test_dir("adaptive-identity");
+    let mut adaptive = spec(CampaignKind::Inject, "nw", 400, 91);
+    adaptive.version = 2;
+    adaptive.shards = 1;
+    // Loose target + small batch: converges quickly at test size while
+    // still exercising several allocation decisions.
+    adaptive.plan = Some(PlanSpec { ci: 0.5, batch: 8 });
+
+    let direct_dir = dir.join("direct");
+    let direct_result = direct_run(&adaptive, &direct_dir);
+
+    // A slice budget below the batch size forces pauses between (and
+    // inside) decisions, so every resume goes through decision replay.
+    let server = start_server(&dir, 1, 12);
+    let id = submit(&server, &adaptive);
+    let daemon_result = fetch_result(&server, &id);
+    assert_eq!(daemon_result, direct_result, "adaptive daemon result diverged from the direct adaptive run");
+    assert!(daemon_result.contains("\"spec_version\":2"), "{daemon_result}");
+
+    let daemon_journal = server.root().join(&id).join("journal");
+    let (direct_meta, direct_records) = record_bytes(&direct_dir);
+    let (daemon_meta, daemon_records) = record_bytes(&daemon_journal);
+    assert_eq!(daemon_meta, direct_meta, "adaptive journal metadata diverged");
+    assert_eq!(daemon_records, direct_records, "adaptive journal trial records diverged");
+
+    // Early stopping actually happened: the executed count is visible in
+    // the rendered document and sits below the 400-trial horizon.
+    let executed = journal_records(&daemon_journal).expect("complete adaptive journal").1.len();
+    assert!(executed < 400, "expected early stop, executed {executed}/400");
+
+    // The offline renderer agrees with both journals.
+    assert_eq!(render_result(&direct_dir, 0.0).expect("render direct"), direct_result);
+    assert_eq!(render_result(&daemon_journal, 0.0).expect("render daemon"), direct_result);
+    server.stop();
+}
+
+/// Version admission at the daemon boundary: a version the server does not
+/// support is rejected with a reason, while v1 (version-absent) specs are
+/// admitted unchanged.
+#[test]
+fn unsupported_spec_versions_are_rejected_at_submission() {
+    let dir = test_dir("version-admission");
+    let server = start_server(&dir, 1, 50);
+    let raw = "{\"kind\":\"inject\",\"version\":3,\"benchmark\":\"nw\",\"trials\":8,\"seed\":1,\
+               \"size\":\"test\",\"shards\":1,\"isolate\":false,\"models\":[],\"tolerance\":0.0}";
+    match roundtrip(server.socket(), &ClientRequest::Submit { spec: raw.to_string() }).expect("submit rpc") {
+        ServerReply::Rejected { reason } => {
+            assert_eq!(reason, "invalid spec: unsupported spec version 3 (supported: 1, 2; absent = 1)");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    // The same document minus the version key is a valid v1 spec.
+    let v1 = spec(CampaignKind::Inject, "nw", 8, 1);
+    let id = submit(&server, &v1);
+    let result = fetch_result(&server, &id);
+    assert!(result.contains("\"spec_version\":1"), "{result}");
     server.stop();
 }

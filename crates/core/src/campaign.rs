@@ -155,6 +155,20 @@ pub fn window_of(step: usize, total_steps: usize, n_windows: usize) -> usize {
     ((step * n_windows) / total_steps).min(n_windows - 1)
 }
 
+/// The (fault-model index, time-window) stratum of a trial, derived from
+/// its campaign-global index *without executing it*: the same
+/// `rng::fork(cfg.seed, trial)` fork, `trial % models.len()` model pick and
+/// first `gen_range(0..total_steps)` draw that [`execute_trial`] performs.
+/// This is what lets the adaptive planner stratify the whole trial horizon
+/// up front while staying bit-compatible with the fixed-count campaign: a
+/// trial keeps exactly the model and window it would have had anyway.
+pub fn trial_stratum(cfg: &CampaignConfig, total_steps: usize, trial: usize) -> (usize, usize) {
+    let mut rng = crate::rng::fork(cfg.seed, trial as u64);
+    let model_idx = trial % cfg.models.len();
+    let inject_step = rng.gen_range(0..total_steps);
+    (model_idx, window_of(inject_step, total_steps, cfg.n_windows))
+}
+
 /// Executes one trial of the campaign described by `cfg` and returns its
 /// record, plus whether the bitwise fast-path compare alone classified it
 /// (telemetry for the campaign report; never part of the record).

@@ -36,6 +36,7 @@
 //! can reuse the same supervisor machinery with device-level architectural
 //! effects instead of source-level fault models.
 
+pub mod adaptive;
 pub mod bytesview;
 pub mod campaign;
 pub mod fuel;
@@ -52,6 +53,7 @@ pub mod supervisor;
 pub mod target;
 pub mod warden;
 
+pub use adaptive::{run_campaign_adaptive, AllocationPlanner, PlanDecision};
 pub use campaign::{run_campaign, Campaign, CampaignConfig};
 pub use orchestrator::{run_campaign_isolated, run_campaign_stored, StoreConfig, StoredRun};
 pub use warden::{IsolateConfig, IsolatedTrial, Warden};

@@ -87,6 +87,8 @@ pub struct CampaignProgress {
     shards: Vec<ShardGauge>,
     ewma: Mutex<Ewma>,
     finished: AtomicBool,
+    /// Adaptive-planner gauges; `None` for fixed-count campaigns.
+    planner: Mutex<Option<PlannerStatus>>,
 }
 
 impl CampaignProgress {
@@ -115,7 +117,14 @@ impl CampaignProgress {
             shards,
             ewma: Mutex::new(Ewma { at: now, done: prior, rate: 0.0, primed: false }),
             finished: AtomicBool::new(false),
+            planner: Mutex::new(None),
         }
+    }
+
+    /// Publishes the adaptive planner's gauges (batch cadence, not per
+    /// trial).
+    pub fn set_planner(&self, status: PlannerStatus) {
+        *self.planner.lock().unwrap_or_else(|e| e.into_inner()) = Some(status);
     }
 
     /// One more trial journaled on `shard`.
@@ -186,6 +195,7 @@ impl CampaignProgress {
             pool_hits: merged.counter("pool/hits"),
             pool_rebuilds: merged.counter("pool/rebuilds"),
             workers: worker_health(&merged),
+            planner: self.planner.lock().unwrap_or_else(|e| e.into_inner()).clone(),
             counters: counters_of(&merged),
             spans: spans_of(&merged),
         }
@@ -268,6 +278,17 @@ pub fn shard_sealed(shard: usize) {
     }
 }
 
+/// Publishes the adaptive planner's gauges on the current campaign. Called
+/// by the adaptive orchestrator once per allocation batch.
+pub fn planner_update(status: PlannerStatus) {
+    if !active() {
+        return;
+    }
+    if let Some(state) = current() {
+        state.set_planner(status);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Status snapshot (the wire/file schema).
 
@@ -321,6 +342,22 @@ pub struct SpanStatus {
     pub max_ns: u64,
 }
 
+/// Adaptive-planner gauges: how much of the stratified horizon is still
+/// open and how wide the worst confidence interval is. Published once per
+/// allocation batch by the adaptive orchestrator; absent for fixed-count
+/// campaigns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerStatus {
+    /// Strata the planner tracks (fault models × time windows).
+    pub strata_total: u64,
+    /// Strata whose widest outcome-class CI still exceeds the target.
+    pub strata_open: u64,
+    /// Widest outcome-class CI width across all strata.
+    pub widest_ci: f64,
+    /// Allocation decisions made so far.
+    pub batches: u64,
+}
+
 /// Everything the monitoring plane knows, as one JSON-serializable value:
 /// the monitor endpoint's reply frame and the `heartbeat.json` schema.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -343,6 +380,8 @@ pub struct StatusSnapshot {
     pub pool_hits: u64,
     pub pool_rebuilds: u64,
     pub workers: WorkerHealth,
+    /// Adaptive-planner gauges; `None` unless the campaign is planner-driven.
+    pub planner: Option<PlannerStatus>,
     pub counters: Vec<CounterStatus>,
     pub spans: Vec<SpanStatus>,
 }
@@ -371,6 +410,7 @@ pub fn status() -> StatusSnapshot {
                 pool_hits: merged.counter("pool/hits"),
                 pool_rebuilds: merged.counter("pool/rebuilds"),
                 workers: worker_health(&merged),
+                planner: None,
                 counters: counters_of(&merged),
                 spans: spans_of(&merged),
             }

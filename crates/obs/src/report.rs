@@ -33,6 +33,14 @@ pub struct CampaignReport {
     /// Trials classified by the chunked bitwise compare alone, without an
     /// elementwise mismatch scan.
     pub fast_path_compares: u64,
+    /// Strata the adaptive planner tracked; 0 for fixed-count campaigns
+    /// (which hides the planner gauges from `Display`).
+    pub strata_total: usize,
+    /// Strata whose widest outcome-class CI still exceeded the target when
+    /// the campaign ended (0 = every stratum converged).
+    pub strata_open: usize,
+    /// Widest outcome-class CI width across strata at campaign end.
+    pub widest_ci: f64,
     /// Outcome counts keyed by caller-chosen labels, sorted by key.
     pub outcomes: Vec<(String, usize)>,
 }
@@ -99,6 +107,15 @@ impl fmt::Display for CampaignReport {
         if self.fast_path_compares > 0 {
             let pct = if self.trials > 0 { 100.0 * self.fast_path_compares as f64 / self.trials as f64 } else { 0.0 };
             writeln!(f, "  fast-path cmp   {:>10}  ({:>5.1}% of trials)", self.fast_path_compares, pct)?;
+        }
+        if self.strata_total > 0 {
+            writeln!(
+                f,
+                "  planner         {:>6}/{} strata converged, widest ci {:.4}",
+                self.strata_total - self.strata_open.min(self.strata_total),
+                self.strata_total,
+                self.widest_ci
+            )?;
         }
         if !self.outcomes.is_empty() {
             writeln!(f, "  outcomes")?;
@@ -208,6 +225,19 @@ mod tests {
         // Hot-path gauges stay hidden when the run didn't pool...
         assert!(!s.contains("pool reuse"));
         assert!(!s.contains("fast-path cmp"));
+        // ...and planner gauges when the campaign was fixed-count.
+        assert!(!s.contains("planner"));
+    }
+
+    #[test]
+    fn planner_gauges_display_when_present() {
+        let mut r = sample();
+        r.strata_total = 16;
+        r.strata_open = 2;
+        r.widest_ci = 0.0625;
+        let s = r.to_string();
+        assert!(s.contains("14/16 strata converged"), "{s}");
+        assert!(s.contains("widest ci 0.0625"), "{s}");
     }
 
     #[test]

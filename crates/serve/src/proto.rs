@@ -65,7 +65,9 @@ pub enum ServerReply {
     Status { status: CampaignStatus },
     List { campaigns: Vec<CampaignStatus> },
     /// One obs event attributed to the subscribed campaign (`kind` is the
-    /// obs event kind, e.g. `trial`; `payload` its JSON).
+    /// obs event kind, e.g. `trial`, or `plan` for an adaptive planner's
+    /// allocation decision — stratum, widest CI width, batch trial list;
+    /// `payload` its JSON).
     Event { id: String, kind: String, payload: String },
     /// Periodic live gauges on an `Events` subscription: the campaign's
     /// registry status, the process-wide monitor snapshot (the slice the

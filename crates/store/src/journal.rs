@@ -30,6 +30,13 @@ use std::path::{Path, PathBuf};
 /// Journal format version, embedded in [`CampaignMeta`].
 pub const FORMAT_VERSION: u32 = 1;
 
+/// Journal format version of adaptive (planner-driven) campaigns. Version-2
+/// journals interleave [`JournalEntry::Plan`] allocation decisions with the
+/// trial stream, run as a single shard, and order trial entries by
+/// *execution* sequence — the payload's own trial index, not `seq`, names
+/// the RNG stream. Version-1 readers reject them via the meta check.
+pub const ADAPTIVE_FORMAT_VERSION: u32 = 2;
+
 /// Transient-I/O retry budget: how many times one journal operation is
 /// re-attempted before its error is surfaced to the orchestrator (which
 /// then fails the shard).
@@ -118,6 +125,11 @@ pub enum JournalEntry {
     Checkpoint(ShardCursor),
     /// The shard finished its whole range.
     ShardDone { shard: usize },
+    /// One adaptive-planner allocation decision (version-2 journals only).
+    /// Written *before* the batch it describes, so replay can re-derive the
+    /// decision from planner state and cross-check it. `trials` are the
+    /// global trial indices of the batch, in execution order.
+    Plan { batch: u64, stratum: String, widest_ci: f64, trials: Vec<usize> },
 }
 
 /// Result of scanning a journal directory.

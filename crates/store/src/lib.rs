@@ -29,7 +29,10 @@ pub mod journal;
 pub mod queue;
 pub mod shard;
 
-pub use journal::{is_transient, retry_transient, CampaignMeta, Journal, JournalEntry, JournalScan, JournalWriter, ShardCursor};
+pub use journal::{
+    is_transient, retry_transient, CampaignMeta, Journal, JournalEntry, JournalScan, JournalWriter, ShardCursor,
+    ADAPTIVE_FORMAT_VERSION,
+};
 pub use queue::{run_tasks, StopFlag};
 pub use shard::{ShardPlan, ShardProgress, ShardState};
 

@@ -102,6 +102,10 @@ impl ShardProgress {
                     let s = state.get_mut(*shard).ok_or_else(|| invalid(format!("shard-done for shard {shard}, journal has {shards} shards")))?;
                     s.done = true;
                 }
+                // Allocation decisions carry planner state, not shard
+                // progress; the adaptive orchestrator validates them
+                // separately against a replayed planner.
+                JournalEntry::Plan { .. } => {}
             }
         }
         Ok(ShardProgress { shards: state })

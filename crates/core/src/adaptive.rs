@@ -85,7 +85,7 @@ fn open_adaptive_journal(
     meta: CampaignMeta,
 ) -> std::io::Result<(JournalWriter, Vec<JournaledPlan>, Vec<TrialRecord>, bool)> {
     let dir = &store_cfg.dir;
-    let (writer, entries) = if Journal::exists(dir) {
+    let (mut writer, entries) = if Journal::exists(dir) {
         if !store_cfg.resume {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::AlreadyExists,
@@ -107,6 +107,7 @@ fn open_adaptive_journal(
     } else {
         (JournalWriter::create(dir, meta.clone())?, Vec::new())
     };
+    writer.batch = store_cfg.batch;
     // The shard machinery validates the gapless execution sequence and
     // checkpoint consistency; adaptive campaigns are always single-shard.
     let progress = ShardProgress::replay(1, &entries)?;
@@ -390,6 +391,7 @@ where
     };
 
     if !complete {
+        writer.close()?;
         return Ok(StoredRun::Paused { completed: records.len() as u64, total: cfg.trials });
     }
     if !sealed {
@@ -400,6 +402,7 @@ where
         obs::incr("shard/completed", 1);
         crate::monitor::shard_sealed(0);
     }
+    writer.close()?;
     crate::monitor::complete_campaign();
     let gauges = planner.gauges();
     let mut report = report_for(benchmark, &records, workers, busy_ns.into_inner(), wall.elapsed().as_nanos() as u64);

@@ -22,15 +22,66 @@ pub struct Fuel {
     remaining: u64,
 }
 
+/// Scales `n` by `factor` exactly: the factor is decomposed into its
+/// IEEE-754 mantissa and binary exponent and the product is computed in
+/// u128, so no precision is lost past 2⁵³ the way `n as f64 * factor`
+/// loses it. `round_up` selects ceiling (watchdog budgets) vs truncation
+/// (kernel fuel, matching the old `as u64` cast). Saturates at
+/// `u128::MAX`; panics on a non-finite or negative factor — a corrupted
+/// factor must never silently become an infinite budget.
+fn scale_exact(n: u64, factor: f64, round_up: bool) -> u128 {
+    assert!(
+        factor.is_finite() && factor >= 0.0,
+        "work-budget factor must be finite and non-negative, got {factor}"
+    );
+    if n == 0 || factor == 0.0 {
+        return 0;
+    }
+    // factor = m × 2^e with m < 2^54, exactly.
+    let bits = factor.to_bits();
+    let exp_raw = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e) = if exp_raw == 0 { (frac, -1074i64) } else { (frac | (1 << 52), exp_raw - 1075) };
+    let prod = (n as u128) * (m as u128); // < 2^64 × 2^54 = 2^118, exact in u128
+    if e >= 0 {
+        if (e as u32) >= prod.leading_zeros() {
+            return u128::MAX;
+        }
+        prod << e
+    } else {
+        let s = (-e) as u32;
+        if s >= 128 {
+            return if round_up { 1 } else { 0 };
+        }
+        let q = prod >> s;
+        if round_up && prod & ((1u128 << s) - 1) != 0 {
+            q + 1
+        } else {
+            q
+        }
+    }
+}
+
+/// Whole-run watchdog budget in steps: `ceil(total_steps × factor)`,
+/// computed with saturating integer math (see [`scale_exact`]) so totals
+/// past 2⁵³ don't round through f64. Identical to the old
+/// `((total as f64) * factor).ceil()` everywhere that formula was exact.
+pub fn watchdog_budget(total_steps: usize, factor: f64) -> u64 {
+    scale_exact(total_steps as u64, factor, true).min(u64::MAX as u128) as u64
+}
+
 impl Fuel {
     /// Creates a budget of `units` work units.
     pub fn new(units: u64) -> Self {
         Fuel { remaining: units }
     }
 
-    /// Creates a budget of `factor`× the nominal work estimate.
+    /// Creates a budget of `factor`× the nominal work estimate. The factor
+    /// must be finite and non-negative: a NaN or ∞ (e.g. from corrupted
+    /// arithmetic upstream) used to saturate into an effectively infinite
+    /// budget — defeating the watchdog — and is now rejected loudly.
     pub fn with_factor(nominal_units: u64, factor: f64) -> Self {
-        let units = (nominal_units as f64 * factor).min(u64::MAX as f64) as u64;
+        let units = scale_exact(nominal_units, factor, false).min(u64::MAX as u128) as u64;
         Fuel::new(units.max(1))
     }
 
@@ -126,5 +177,53 @@ mod tests {
     fn zero_factor_still_gives_minimum_budget() {
         let fuel = Fuel::with_factor(0, 4.0);
         assert!(fuel.remaining() >= 1);
+    }
+
+    #[test]
+    fn with_factor_rejects_non_finite_factors() {
+        // A NaN factor used to pass through `f64::min` (which returns the
+        // non-NaN operand) and saturate into a u64::MAX budget — an
+        // effectively disabled watchdog. Non-finite factors are now a loud
+        // construction-time panic, never a silent infinite budget.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let r = catch_unwind(|| Fuel::with_factor(1000, bad));
+            assert!(r.is_err(), "factor {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_is_byte_identical_to_the_f64_formula_where_exact() {
+        // Satellite pin: the integer budget must reproduce the old
+        // `((total as f64) * factor).ceil()` bit for bit across
+        // representative campaign shapes — changing any of these would
+        // reclassify timeout DUEs and break journaled byte-identity.
+        for &(total, factor) in &[
+            (1usize, 4.0),
+            (6, 4.0),     // dgemm test size
+            (16, 4.0),    // supervisor unit-test victims
+            (29, 1.5),
+            (64, 4.0),
+            (100, 2.5),
+            (1000, 4.0),
+            (12_345, 3.25),
+            (1 << 20, 4.0),
+            (7, 0.0),
+            (3, 0.125),
+        ] {
+            let old = ((total as f64) * factor).ceil() as u64;
+            assert_eq!(watchdog_budget(total, factor), old, "total={total} factor={factor}");
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_is_exact_past_2_53_steps() {
+        // The f64 formula loses integer resolution above 2^53: (2^53 + 1)
+        // as f64 rounds down to 2^53. The u128 path keeps every bit and
+        // saturates instead of wrapping.
+        let total = (1usize << 53) + 1;
+        assert_eq!(watchdog_budget(total, 1.0), total as u64);
+        assert_eq!(watchdog_budget(total, 4.0), 4 * total as u64);
+        assert_eq!(watchdog_budget(usize::MAX, 4.0), u64::MAX, "oversized budgets saturate");
+        assert_eq!(watchdog_budget(usize::MAX, 1.0), u64::MAX);
     }
 }

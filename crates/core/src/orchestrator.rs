@@ -39,11 +39,22 @@ pub struct StoreConfig {
     /// out the campaign checkpoints and returns [`StoredRun::Paused`].
     /// `None` = run to completion.
     pub budget: Option<usize>,
+    /// Journal group-commit policy. Defaults from the environment
+    /// (`PHI_BATCH_BYTES` / `PHI_BATCH_DELAY_MS`); segment bytes are
+    /// identical under every policy, only write boundaries change.
+    pub batch: store::BatchPolicy,
 }
 
 impl StoreConfig {
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        StoreConfig { dir: dir.into(), shards: 8, resume: false, checkpoint_every: 64, budget: None }
+        StoreConfig {
+            dir: dir.into(),
+            shards: 8,
+            resume: false,
+            checkpoint_every: 64,
+            budget: None,
+            batch: store::BatchPolicy::from_env(),
+        }
     }
 }
 
@@ -83,7 +94,7 @@ pub fn open_journal(
     meta: CampaignMeta,
 ) -> std::io::Result<(JournalWriter, ShardProgress, Vec<Vec<TrialRecord>>)> {
     let dir = &store_cfg.dir;
-    let (writer, entries) = if Journal::exists(dir) {
+    let (mut writer, entries) = if Journal::exists(dir) {
         if !store_cfg.resume {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::AlreadyExists,
@@ -105,6 +116,7 @@ pub fn open_journal(
     } else {
         (JournalWriter::create(dir, meta.clone())?, Vec::new())
     };
+    writer.batch = store_cfg.batch;
     let progress = ShardProgress::replay(meta.shards, &entries)?;
     let plan = ShardPlan::new(meta.trials, meta.shards);
     let mut prior: Vec<Vec<TrialRecord>> = Vec::with_capacity(meta.shards);
@@ -283,6 +295,10 @@ pub fn drive_shards(
         }
     });
 
+    // Retire the writer explicitly so a failed final flush surfaces as an
+    // error here instead of being swallowed by `Drop`. Worker-observed
+    // errors still take precedence — they name the root cause.
+    let closed = journal.into_inner().close();
     if let Some(e) = io_error.lock().take() {
         return Err(e);
     }
@@ -294,6 +310,7 @@ pub fn drive_shards(
             panics.join("; ")
         )));
     }
+    closed?;
 
     // Merge prior + new per shard; any shard short of its range means the
     // run was paused (budget/stop) rather than finished.

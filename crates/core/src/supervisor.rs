@@ -15,11 +15,11 @@
 //! Crashes (panics) and watchdog expiries become DUEs; any output bit
 //! mismatch becomes an SDC with a [`DiffSummary`].
 
-use crate::fuel::is_timeout;
+use crate::fuel::{is_timeout, watchdog_budget, Fuel};
 use crate::models::{FaultApplicator, InjectionDetail};
 use crate::output::Output;
 use crate::record::{DiffSummary, DueKind};
-use crate::target::{FaultTarget, StepOutcome};
+use crate::target::FaultTarget;
 use rand::rngs::StdRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -141,24 +141,30 @@ pub fn run_trial_mut<T: FaultTarget>(
 ) -> TrialResult {
     let _trial_span = obs::span!("trial");
     let total = target.total_steps().max(1);
-    let max_steps = ((total as f64) * cfg.watchdog_factor).ceil() as usize;
+    // Whole-run watchdog budget, precomputed as an integer step count
+    // (saturating u128 math — see `fuel::watchdog_budget`; the old f64
+    // formula lost precision past 2^53 steps).
+    let max_steps = watchdog_budget(total, cfg.watchdog_factor);
     let inject_step = cfg.inject_step.min(total.saturating_sub(1));
 
     let mut injection: Option<InjectionDetail> = None;
-    let mut executed = 0usize;
+    // Both phases' fuel lives outside the unwind boundary so
+    // `executed_steps` can be reconstructed after a crash or timeout. The
+    // pre-injection phase is fault-free and was never subject to a timeout
+    // check, so its fuel is effectively unbounded; its spend is charged
+    // against the whole-run budget when the watchdog arms below.
+    let mut pre_fuel = Fuel::new(u64::MAX);
+    let mut post_budget = 0u64;
+    let mut post_fuel = Fuel::new(0);
 
     let run = catch_unwind(AssertUnwindSafe(|| {
-        // Phase 1: full speed until the interrupt.
-        while target.steps_executed() < inject_step {
-            executed += 1;
-            if let StepOutcome::Done = target.step() {
-                // Program finished before the interrupt fired — CAROL-FI
-                // logs these as faults injected at the very end; we apply
-                // the fault to the final state so the output comparison
-                // still sees it (matches injecting into a result buffer).
-                break;
-            }
-        }
+        // Phase 1: full speed until the interrupt — one fuel
+        // decrement-and-branch per step, no supervisor bookkeeping. If the
+        // program finishes before the interrupt fires, CAROL-FI logs these
+        // as faults injected at the very end; we apply the fault to the
+        // final state so the output comparison still sees it (matches
+        // injecting into a result buffer).
+        target.run_until(inject_step, &mut pre_fuel);
 
         // Phase 2: the Flip-script.
         let mut vars = target.variables();
@@ -169,20 +175,20 @@ pub fn run_trial_mut<T: FaultTarget>(
         drop(vars);
         injection.as_ref()?; // masked in hardware — no need to resume
 
-        // Phase 3: resume under the watchdog.
+        // Phase 3: resume at full speed under the watchdog. The remaining
+        // budget is the whole-run budget minus the fault-free prefix
+        // (`Fuel::burn` zeroes itself before raising the timeout, so a DUE
+        // reports exactly `max_steps` executed — identical to the old
+        // check-then-step loop).
         if target.steps_executed() >= inject_step {
-            loop {
-                if executed >= max_steps {
-                    std::panic::panic_any(crate::fuel::TimeoutSignal);
-                }
-                executed += 1;
-                if let StepOutcome::Done = target.step() {
-                    break;
-                }
-            }
+            let spent_pre = u64::MAX - pre_fuel.remaining();
+            post_budget = max_steps.saturating_sub(spent_pre);
+            post_fuel = Fuel::new(post_budget);
+            target.run_until(usize::MAX, &mut post_fuel);
         }
         Some(target.output())
     }));
+    let executed = ((u64::MAX - pre_fuel.remaining()) + (post_budget - post_fuel.remaining())) as usize;
 
     let mut fast_compare = false;
     let outcome = match run {
@@ -223,7 +229,7 @@ mod tests {
     use super::*;
     use crate::models::{CarolFiApplicator, FaultModel};
     use crate::rng::fork;
-    use crate::target::{VarClass, VarInfo, Variable};
+    use crate::target::{StepOutcome, VarClass, VarInfo, Variable};
 
     /// A toy victim: sums a vector in `n` steps, output is the running sums.
     struct Summer {

@@ -193,6 +193,32 @@ pub trait FaultTarget: Send {
     /// panics into DUEs.
     fn step(&mut self) -> StepOutcome;
 
+    /// Runs at full speed until `steps_executed()` reaches `step_bound`,
+    /// the program finishes, or `fuel` runs out (a timeout panic the
+    /// supervisor classifies as a DUE).
+    ///
+    /// This is the supervisor's run-ahead primitive (ZOFI's stance: run at
+    /// full speed, interrupt at the precomputed firing point): a trial is
+    /// two `run_until` phases around a single injection, and the non-firing
+    /// path costs one fuel decrement-and-branch per step instead of
+    /// per-step supervisor bookkeeping. Through `Box<dyn FaultTarget>` the
+    /// whole phase is one virtual call rather than two per step.
+    ///
+    /// Overriding implementations must stay observably identical to this
+    /// default: burn exactly one fuel unit immediately *before* each step
+    /// (so a timeout fires with the same executed-step count), preserve
+    /// `step()`'s effects bit for bit — including when the target is
+    /// already finished — and return `Done` the moment a step reports it.
+    fn run_until(&mut self, step_bound: usize, fuel: &mut crate::fuel::Fuel) -> StepOutcome {
+        while self.steps_executed() < step_bound {
+            fuel.burn(1);
+            if let StepOutcome::Done = self.step() {
+                return StepOutcome::Done;
+            }
+        }
+        StepOutcome::Continue
+    }
+
     /// Enumerates the live injectable variables, CAROL-FI's frame walk.
     fn variables(&mut self) -> Vec<Variable<'_>>;
 
@@ -240,6 +266,12 @@ impl FaultTarget for Box<dyn FaultTarget> {
     }
     fn step(&mut self) -> StepOutcome {
         self.as_mut().step()
+    }
+    fn run_until(&mut self, step_bound: usize, fuel: &mut crate::fuel::Fuel) -> StepOutcome {
+        // Forwarded so a boxed target pays one virtual dispatch per phase,
+        // not two per step — and so kernel specializations stay reachable
+        // through registries that hand out `Box<dyn FaultTarget>`.
+        self.as_mut().run_until(step_bound, fuel)
     }
     fn variables(&mut self) -> Vec<Variable<'_>> {
         self.as_mut().variables()

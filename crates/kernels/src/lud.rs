@@ -293,6 +293,19 @@ impl FaultTarget for Lud {
         self.done
     }
 
+    fn run_until(&mut self, step_bound: usize, fuel: &mut Fuel) -> StepOutcome {
+        // Monomorphic run-ahead loop (ZOFI-style full-speed phase): one
+        // decrement-and-branch plus a direct, inlinable step call per
+        // step — no virtual dispatch through `dyn FaultTarget`.
+        while self.done < step_bound {
+            fuel.burn(1);
+            if let StepOutcome::Done = self.step() {
+                return StepOutcome::Done;
+            }
+        }
+        StepOutcome::Continue
+    }
+
     fn step(&mut self) -> StepOutcome {
         match self.phase() {
             Phase::Diagonal => self.step_diagonal(),

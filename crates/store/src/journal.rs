@@ -8,18 +8,31 @@
 //! ```
 //!
 //! where the checksum covers the JSON bytes. Appends go to the newest
-//! segment only and are flushed line-atomically, so after a crash (or
-//! `kill -9`) at most the final line is torn. [`Journal::scan`] validates
-//! every line; the recovery rule is *keep every complete record, drop the
-//! torn tail*: scanning stops at the first invalid line of the newest
-//! segment, and [`JournalWriter::resume`] physically truncates the file back
-//! to the end of its valid prefix before appending. An invalid line in any
-//! older segment is not a torn tail — writers never touch closed segments —
-//! so it is reported as corruption instead of being silently dropped.
+//! segment only. Under the default group-commit policy ([`BatchPolicy`])
+//! encoded lines accumulate in a writer-side buffer and reach the OS as one
+//! `write()` when the batch fills, ages out, or a checkpoint/sync forces it
+//! down; with batching disabled every line is written through individually.
+//! Either way the *byte stream* is identical — batching changes only the
+//! write boundaries — and loss on a crash is a strict suffix of whole
+//! records plus at most one torn line. [`Journal::scan`] validates every
+//! line; the recovery rule is *keep every complete record, drop the torn
+//! tail*: scanning stops at the first invalid line of the newest segment,
+//! and [`JournalWriter::resume`] physically truncates the file back to the
+//! end of its valid prefix before appending. An invalid line in any older
+//! segment is not a torn tail — writers never touch closed segments — so it
+//! is reported as corruption instead of being silently dropped.
+//!
+//! Because the buffer is FIFO and checkpoints force it down before fsync, a
+//! surviving `Checkpoint` entry still implies every `Trial` it covers
+//! survived — the invariant resume relies on. Writers should be retired
+//! through [`JournalWriter::close`]; dropping one still flushes, but an
+//! error there can only be reported loudly (stderr +
+//! `store/drop_flush_errors`), not returned.
 //!
 //! Durability telemetry flows through `phi-obs`: `store.append`/`store.scan`
-//! spans, `store/appends`, `store/checkpoints`, `store/segments` and
-//! `store/torn-bytes` counters.
+//! spans, `store/appends`, `store/batch_flushes`, `store/checkpoints`,
+//! `store/segments`, `store/torn-bytes` and `store/drop_flush_errors`
+//! counters.
 
 use crate::crc32;
 use serde::{Deserialize, Serialize};
@@ -261,9 +274,71 @@ impl Journal {
     }
 }
 
+/// Group-commit policy: how long appended lines may sit in the writer's
+/// buffer before they are pushed to the OS as one `write()`.
+///
+/// Batching never reorders or rewrites bytes — the segment files are
+/// byte-identical under every policy — it only coalesces write syscalls.
+/// Crash loss grows from "the in-flight line" to "the buffered suffix",
+/// which recovery already tolerates: the journal's gapless-sequence replay
+/// treats any lost suffix exactly like trials that never ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush when the buffer reaches this many bytes. `0` disables
+    /// batching entirely (every append writes through, the historical
+    /// behaviour).
+    pub max_bytes: usize,
+    /// Flush on append when the oldest buffered line is older than this.
+    pub max_delay: std::time::Duration,
+}
+
+impl BatchPolicy {
+    /// Default batch size: a few dozen trial records per syscall without
+    /// letting a stalled campaign hold back more than ~64 KiB.
+    pub const DEFAULT_BYTES: usize = 64 << 10;
+    /// Default age bound on buffered records.
+    pub const DEFAULT_DELAY_MS: u64 = 25;
+
+    /// Write-through policy: every append is its own `write()` + flush.
+    pub fn unbatched() -> Self {
+        BatchPolicy { max_bytes: 0, max_delay: std::time::Duration::ZERO }
+    }
+
+    /// True when this policy writes every line through individually.
+    pub fn is_unbatched(&self) -> bool {
+        self.max_bytes == 0
+    }
+
+    /// Policy from the environment: `PHI_BATCH_BYTES` (0 = unbatched) and
+    /// `PHI_BATCH_DELAY_MS` override the defaults. Unparseable values fall
+    /// back to the defaults rather than failing campaign startup.
+    pub fn from_env() -> Self {
+        let bytes = std::env::var("PHI_BATCH_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(Self::DEFAULT_BYTES);
+        let delay_ms = std::env::var("PHI_BATCH_DELAY_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(Self::DEFAULT_DELAY_MS);
+        BatchPolicy { max_bytes: bytes, max_delay: std::time::Duration::from_millis(delay_ms) }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_bytes: Self::DEFAULT_BYTES,
+            max_delay: std::time::Duration::from_millis(Self::DEFAULT_DELAY_MS),
+        }
+    }
+}
+
 /// Appending side of a journal. One writer per journal directory; campaign
-/// workers share it behind a mutex. Every append is flushed as a whole line,
-/// which is what bounds crash loss to the single in-flight record.
+/// workers share it behind a mutex. Appended lines group-commit per the
+/// writer's [`BatchPolicy`]; `sync`/`close` (and segment rotation) force the
+/// buffer down, which is what bounds crash loss to a suffix of records
+/// after the last checkpoint.
 #[derive(Debug)]
 pub struct JournalWriter {
     dir: PathBuf,
@@ -272,6 +347,14 @@ pub struct JournalWriter {
     segment_bytes: u64,
     /// Rotation threshold (tests shrink it to force multi-segment journals).
     pub rotate_at: u64,
+    /// Group-commit policy for this writer.
+    pub batch: BatchPolicy,
+    /// Encoded lines awaiting their batch write, strictly FIFO.
+    buf: Vec<u8>,
+    /// When the oldest line still in `buf` was appended.
+    buf_oldest: Option<std::time::Instant>,
+    /// Set by [`JournalWriter::close`] so `Drop` doesn't double-flush.
+    closed: bool,
 }
 
 impl JournalWriter {
@@ -288,8 +371,23 @@ impl JournalWriter {
         let path = segment_path(dir, 0);
         let file = OpenOptions::new().create_new(true).append(true).open(&path)?;
         obs::incr("store/segments", 1);
-        let mut w = JournalWriter { dir: dir.to_path_buf(), file, segment_index: 0, segment_bytes: 0, rotate_at: SEGMENT_BYTES };
+        let mut w = JournalWriter {
+            dir: dir.to_path_buf(),
+            file,
+            segment_index: 0,
+            segment_bytes: 0,
+            rotate_at: SEGMENT_BYTES,
+            batch: BatchPolicy::default(),
+            buf: Vec::new(),
+            buf_oldest: None,
+            closed: false,
+        };
         w.append(&JournalEntry::Meta(meta))?;
+        // The Meta line is committed eagerly regardless of batch policy: a
+        // journal directory must never exist with an empty first segment,
+        // or a crash between create and first flush would leave a journal
+        // that resume rejects (no meta) instead of one it can continue.
+        w.flush_batch()?;
         Ok(w)
     }
 
@@ -317,16 +415,27 @@ impl JournalWriter {
                 segment_index: scan.segments.len() - 1,
                 segment_bytes,
                 rotate_at: SEGMENT_BYTES,
+                batch: BatchPolicy::default(),
+                buf: Vec::new(),
+                buf_oldest: None,
+                closed: false,
             },
             scan,
         ))
     }
 
-    /// Appends one entry and flushes it to the OS. Rotates to a new segment
-    /// first when the current one is past the threshold.
+    /// Appends one entry. Under a batching policy the encoded line joins
+    /// the write buffer and is committed when the batch fills or ages out;
+    /// unbatched, it is written through immediately. Rotates to a new
+    /// segment first when the current one is past the threshold
+    /// (`segment_bytes` counts buffered lines too, so rotation points are
+    /// independent of the batch policy).
     pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
         let _span = obs::span!("store.append");
         if self.segment_bytes >= self.rotate_at {
+            // A segment's lines must land in that segment: commit the
+            // buffered tail before switching files.
+            self.flush_batch()?;
             self.segment_index += 1;
             let path = segment_path(&self.dir, self.segment_index);
             self.file = OpenOptions::new().create_new(true).append(true).open(&path)?;
@@ -334,34 +443,81 @@ impl JournalWriter {
             obs::incr("store/segments", 1);
         }
         let line = encode_line(entry)?;
-        // Transient kernel refusals retry in place instead of failing the
-        // shard. `write_all` resumes partial EINTR writes internally, and
-        // the regular files journals live on refuse whole writes (not line
-        // prefixes) on EAGAIN, so a retried line never duplicates bytes.
-        retry_transient(|| self.file.write_all(&line))?;
-        retry_transient(|| self.file.flush())?;
         self.segment_bytes += line.len() as u64;
         obs::incr("store/appends", 1);
         if matches!(entry, JournalEntry::Checkpoint(_)) {
             obs::incr("store/checkpoints", 1);
         }
+        if self.batch.is_unbatched() {
+            // Lines buffered under an earlier policy (e.g. the Meta entry
+            // `create` writes before the caller overrides `batch`) must
+            // land first — append order is the byte order.
+            self.flush_batch()?;
+            // Transient kernel refusals retry in place instead of failing
+            // the shard. `write_all` resumes partial EINTR writes
+            // internally, and the regular files journals live on refuse
+            // whole writes (not line prefixes) on EAGAIN, so a retried
+            // line never duplicates bytes.
+            retry_transient(|| self.file.write_all(&line))?;
+            retry_transient(|| self.file.flush())?;
+            return Ok(());
+        }
+        self.buf.extend_from_slice(&line);
+        let oldest = *self.buf_oldest.get_or_insert_with(std::time::Instant::now);
+        if self.buf.len() >= self.batch.max_bytes || oldest.elapsed() >= self.batch.max_delay {
+            self.flush_batch()?;
+        }
         Ok(())
     }
 
-    /// Forces journal bytes to stable storage (fsync). Called at shard
-    /// checkpoints; per-append flushes already bound process-crash loss.
+    /// Commits the buffered lines as one `write()`. The buffer is FIFO, so
+    /// whatever a crash loses is a strict suffix of the append order —
+    /// never a gap.
+    fn flush_batch(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        retry_transient(|| self.file.write_all(&self.buf))?;
+        retry_transient(|| self.file.flush())?;
+        self.buf.clear();
+        self.buf_oldest = None;
+        obs::incr("store/batch_flushes", 1);
+        Ok(())
+    }
+
+    /// Forces journal bytes to stable storage: commits the buffered batch,
+    /// then fsyncs. Called at shard checkpoints, so a surviving
+    /// `Checkpoint` entry proves every record before it is durable.
     pub fn sync(&mut self) -> std::io::Result<()> {
         let _span = obs::span!("store.sync");
+        self.flush_batch()?;
         retry_transient(|| self.file.sync_data())
+    }
+
+    /// Retires the writer: commits the buffered batch, fsyncs, and
+    /// disarms the `Drop` flush. Orchestrators route shutdown through this
+    /// so a failed final flush is an orchestrator error, not a silently
+    /// swallowed `Drop` — the bug this replaces.
+    pub fn close(mut self) -> std::io::Result<()> {
+        let res = self.sync();
+        self.closed = true;
+        res
     }
 }
 
 impl Drop for JournalWriter {
     fn drop(&mut self) {
-        // Appends are flushed eagerly; this is the last-ditch flush for any
-        // future buffered write path, kept errorless because Drop may run
-        // during unwinding from a panicking campaign worker.
-        let _ = self.file.flush();
+        // Last-ditch commit for writers dropped during unwinding (e.g. a
+        // panicking campaign worker) that never reached `close()`. Drop
+        // cannot return an error, so a failure here is made loud instead
+        // of silently discarded: counted and printed, never swallowed.
+        if self.closed {
+            return;
+        }
+        if let Err(e) = self.flush_batch() {
+            obs::incr("store/drop_flush_errors", 1);
+            eprintln!("journal {}: flush on drop failed: {e}", self.dir.display());
+        }
     }
 }
 

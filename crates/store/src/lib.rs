@@ -30,8 +30,8 @@ pub mod queue;
 pub mod shard;
 
 pub use journal::{
-    is_transient, retry_transient, CampaignMeta, Journal, JournalEntry, JournalScan, JournalWriter, ShardCursor,
-    ADAPTIVE_FORMAT_VERSION,
+    is_transient, retry_transient, BatchPolicy, CampaignMeta, Journal, JournalEntry, JournalScan, JournalWriter,
+    ShardCursor, ADAPTIVE_FORMAT_VERSION,
 };
 pub use queue::{run_tasks, StopFlag};
 pub use shard::{ShardPlan, ShardProgress, ShardState};

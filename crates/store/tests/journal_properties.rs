@@ -7,7 +7,19 @@
 use proptest::prelude::*;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use store::{CampaignMeta, Journal, JournalEntry, JournalWriter, ShardCursor};
+use store::{BatchPolicy, CampaignMeta, Journal, JournalEntry, JournalWriter, ShardCursor};
+
+/// Sorted `(file name, bytes)` for every segment in a journal directory.
+fn segment_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut segs: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .map(|p| (p.file_name().unwrap().to_string_lossy().into_owned(), std::fs::read(&p).unwrap()))
+        .collect();
+    segs.sort();
+    segs
+}
 
 fn meta() -> CampaignMeta {
     CampaignMeta {
@@ -113,6 +125,92 @@ proptest! {
         let (mut w, _) = JournalWriter::resume(&dir).unwrap();
         w.append(&JournalEntry::ShardDone { shard: 3 }).unwrap();
         drop(w);
+        let rescan = Journal::scan(&dir).unwrap();
+        prop_assert_eq!(rescan.torn_bytes, 0);
+        prop_assert_eq!(rescan.entries.len(), survivors + 1);
+        prop_assert_eq!(rescan.entries.last().unwrap(), &JournalEntry::ShardDone { shard: 3 });
+    }
+
+    #[test]
+    fn any_batch_schedule_is_byte_identical_to_write_through(
+        triples in prop::collection::vec((0u64..4, any::<u64>(), any::<u64>()), 0..80),
+        max_bytes in prop::sample::select(vec![0usize, 1, 64, 700, 64 << 10]),
+        delay_ms in prop::sample::select(vec![0u64, 1_000_000]),
+        rotate in prop::sample::select(vec![256u64, 2048, 1 << 20]),
+    ) {
+        // Group commit coalesces write syscalls; it must never move, drop
+        // or reorder a byte. Whatever batch-size/flush-timing schedule a
+        // policy produces — flush-every-line, flush-on-rotation-only,
+        // hold-everything-until-close — the segment files are bit-identical
+        // to the write-through journal of the same entries.
+        let entries: Vec<JournalEntry> = triples.iter().map(|&(s, a, b)| entry(s, a, b)).collect();
+
+        let ref_dir = tmp("batch-ref");
+        let mut w = JournalWriter::create(&ref_dir, meta()).unwrap();
+        w.rotate_at = rotate;
+        w.batch = BatchPolicy::unbatched();
+        for e in &entries {
+            w.append(e).unwrap();
+        }
+        w.close().unwrap();
+
+        let alt_dir = tmp("batch-alt");
+        let mut w = JournalWriter::create(&alt_dir, meta()).unwrap();
+        w.rotate_at = rotate;
+        w.batch = BatchPolicy { max_bytes, max_delay: std::time::Duration::from_millis(delay_ms) };
+        for e in &entries {
+            w.append(e).unwrap();
+        }
+        w.close().unwrap();
+
+        prop_assert_eq!(segment_bytes(&ref_dir), segment_bytes(&alt_dir));
+    }
+
+    #[test]
+    fn truncation_mid_batch_recovers_the_complete_prefix(
+        triples in prop::collection::vec((0u64..4, any::<u64>(), any::<u64>()), 2..40),
+        cut in 1u64..400,
+    ) {
+        // Hold every line in one giant batch, commit it as a single
+        // write(), then tear an arbitrary suffix off — modelling a crash
+        // that lands mid-batch. Because the buffer is FIFO, what survives
+        // is a prefix of whole lines plus at most one torn line, and the
+        // existing torn-tail scan recovers exactly the complete prefix.
+        let dir = tmp("truncate-batch");
+        let entries: Vec<JournalEntry> = triples.iter().map(|&(s, a, b)| entry(s, a, b)).collect();
+        let mut w = JournalWriter::create(&dir, meta()).unwrap();
+        w.batch = BatchPolicy { max_bytes: usize::MAX, max_delay: std::time::Duration::from_secs(1 << 20) };
+        for e in &entries {
+            w.append(e).unwrap();
+        }
+        w.close().unwrap();
+
+        let seg = dir.join("seg-00000.jsonl");
+        let mut bytes = Vec::new();
+        std::fs::File::open(&seg).unwrap().read_to_end(&mut bytes).unwrap();
+        let len = bytes.len() as u64;
+        let meta_line = bytes.iter().position(|&b| b == b'\n').unwrap() as u64 + 1;
+        let cut = cut.min(len - meta_line).max(1);
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - cut).unwrap();
+        drop(f);
+
+        let mut bytes = Vec::new();
+        std::fs::File::open(&seg).unwrap().read_to_end(&mut bytes).unwrap();
+        let complete_lines = bytes.iter().filter(|&&b| b == b'\n').count();
+
+        let scan = Journal::scan(&dir).unwrap();
+        prop_assert!(scan.entries.len() <= complete_lines, "only whole lines survive");
+        prop_assert!(!scan.entries.is_empty(), "the meta line is never lost by a tail cut");
+        for (got, want) in scan.entries[1..].iter().zip(&entries) {
+            prop_assert_eq!(got, want);
+        }
+
+        // Resume truncates the torn tail physically and appends cleanly.
+        let survivors = scan.entries.len();
+        let (mut w, _) = JournalWriter::resume(&dir).unwrap();
+        w.append(&JournalEntry::ShardDone { shard: 3 }).unwrap();
+        w.close().unwrap();
         let rescan = Journal::scan(&dir).unwrap();
         prop_assert_eq!(rescan.torn_bytes, 0);
         prop_assert_eq!(rescan.entries.len(), survivors + 1);

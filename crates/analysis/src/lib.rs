@@ -26,7 +26,7 @@ pub mod stats;
 pub mod tolerance;
 
 pub use fit::{FitEstimate, MachineProjection};
-pub use planner::WilsonPlanner;
+pub use planner::{CiMethod, WilsonPlanner};
 pub use pvf::{OutcomeBreakdown, PvfTable};
 pub use spatial::SpatialPattern;
 pub use tolerance::ToleranceCurve;

@@ -17,7 +17,7 @@
 //! global state; ties between equally wide strata resolve to the lowest
 //! stratum index.
 
-use crate::stats::wilson95;
+use crate::stats::{clopper_pearson95, wilson95, Interval};
 use carolfi::adaptive::{AllocationPlanner, PlanDecision};
 use carolfi::campaign::{trial_stratum, CampaignConfig};
 use carolfi::monitor::PlannerStatus;
@@ -27,6 +27,45 @@ use carolfi::record::{OutcomeRecord, TrialRecord};
 /// re-evaluates interval widths frequently, large enough to keep the worker
 /// pool busy between decisions.
 pub const DEFAULT_BATCH: usize = 32;
+
+/// Which 95 % binomial interval the planner's stopping rule measures.
+///
+/// Wilson (the default) is the score interval the paper's error-bar sizing
+/// approximates; Clopper–Pearson is the exact interval — guaranteed ≥ 95 %
+/// coverage, always at least as wide, so strata close later but never on an
+/// under-covering interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CiMethod {
+    #[default]
+    Wilson,
+    ClopperPearson,
+}
+
+impl CiMethod {
+    /// Parses the CLI/spec label (`wilson` / `clopper-pearson`).
+    pub fn parse(label: &str) -> Option<CiMethod> {
+        match label {
+            "wilson" => Some(CiMethod::Wilson),
+            "clopper-pearson" => Some(CiMethod::ClopperPearson),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CiMethod::Wilson => "wilson",
+            CiMethod::ClopperPearson => "clopper-pearson",
+        }
+    }
+
+    /// The 95 % interval this method assigns to `successes`/`trials`.
+    pub fn interval(self, successes: usize, trials: usize) -> Interval {
+        match self {
+            CiMethod::Wilson => wilson95(successes, trials),
+            CiMethod::ClopperPearson => clopper_pearson95(successes, trials),
+        }
+    }
+}
 
 /// One stratum's sampling state.
 struct Stratum {
@@ -43,14 +82,14 @@ struct Stratum {
 }
 
 impl Stratum {
-    /// Widest 95 % Wilson interval across the four outcome classes — the
-    /// quantity the planner drives below the target. 1.0 before the first
-    /// observation.
-    fn width(&self) -> f64 {
+    /// Widest 95 % interval (under `method`) across the four outcome
+    /// classes — the quantity the planner drives below the target. 1.0
+    /// before the first observation.
+    fn width(&self, method: CiMethod) -> f64 {
         [self.masked, self.hw_masked, self.sdc, self.due]
             .into_iter()
             .map(|k| {
-                let iv = wilson95(k, self.n);
+                let iv = method.interval(k, self.n);
                 iv.hi - iv.lo
             })
             .fold(0.0, f64::max)
@@ -67,6 +106,7 @@ pub struct WilsonPlanner {
     assignment: Vec<usize>,
     strata: Vec<Stratum>,
     batches: u64,
+    method: CiMethod,
 }
 
 impl WilsonPlanner {
@@ -82,7 +122,16 @@ impl WilsonPlanner {
         for (trial, &s) in assignment.iter().enumerate() {
             strata[s].members.push(trial);
         }
-        WilsonPlanner { target: target_ci, batch, assignment, strata, batches: 0 }
+        WilsonPlanner { target: target_ci, batch, assignment, strata, batches: 0, method: CiMethod::Wilson }
+    }
+
+    /// Switches the stopping rule's interval method (default Wilson). The
+    /// determinism contract extends to the method: it is part of the
+    /// planner's construction parameters and is recorded in the campaign
+    /// spec, so replay rebuilds the same decision sequence.
+    pub fn with_method(mut self, method: CiMethod) -> Self {
+        self.method = method;
+        self
     }
 
     /// Stratifies the full horizon of an injection campaign by
@@ -108,7 +157,7 @@ impl WilsonPlanner {
 
     /// Strata whose widest class interval still exceeds the target.
     fn open_count(&self) -> u64 {
-        self.strata.iter().filter(|s| s.width() > self.target).count() as u64
+        self.strata.iter().filter(|s| s.width(self.method) > self.target).count() as u64
     }
 }
 
@@ -130,7 +179,7 @@ impl AllocationPlanner for WilsonPlanner {
             if s.cursor >= s.members.len() {
                 continue; // exhausted its share of the horizon
             }
-            let w = s.width();
+            let w = s.width(self.method);
             if w <= self.target {
                 continue; // converged
             }
@@ -155,7 +204,7 @@ impl AllocationPlanner for WilsonPlanner {
         PlannerStatus {
             strata_total: self.strata.len() as u64,
             strata_open: self.open_count(),
-            widest_ci: self.strata.iter().map(Stratum::width).fold(0.0, f64::max),
+            widest_ci: self.strata.iter().map(|s| s.width(self.method)).fold(0.0, f64::max),
             batches: self.batches,
         }
     }
@@ -266,6 +315,41 @@ mod tests {
         };
         assert_eq!(run(false), run(false), "identical observations, identical decisions");
         assert_ne!(run(false), run(true), "different outcomes must steer allocation");
+    }
+
+    #[test]
+    fn clopper_pearson_stopping_rule_is_more_conservative() {
+        // Same horizon, same mixed observations (every 5th trial an SDC, so
+        // the widest class interval sits in the interior where the exact
+        // interval is strictly wider than Wilson): the CP planner needs
+        // strictly more trials before every stratum closes.
+        let drain = |method: CiMethod| {
+            let assignment: Vec<usize> = (0..4000).map(|t| t % 2).collect();
+            let mut p = WilsonPlanner::new(vec!["a".into(), "b".into()], assignment, 0.15, 10).with_method(method);
+            let mut executed = 0usize;
+            while let Some(d) = p.next_batch() {
+                for &t in &d.trials {
+                    let outcome =
+                        if t % 5 == 0 { OutcomeRecord::Due(carolfi::record::DueKind::Timeout) } else { OutcomeRecord::Masked };
+                    p.observe(&record(t, outcome));
+                }
+                executed += d.trials.len();
+            }
+            assert_eq!(p.gauges().strata_open, 0);
+            executed
+        };
+        let wilson = drain(CiMethod::Wilson);
+        let exact = drain(CiMethod::ClopperPearson);
+        assert!(exact > wilson, "clopper-pearson stopped at {exact} trials, not after wilson's {wilson}");
+    }
+
+    #[test]
+    fn ci_method_labels_roundtrip() {
+        for method in [CiMethod::Wilson, CiMethod::ClopperPearson] {
+            assert_eq!(CiMethod::parse(method.label()), Some(method));
+        }
+        assert_eq!(CiMethod::parse("exact"), None);
+        assert_eq!(CiMethod::default(), CiMethod::Wilson);
     }
 
     #[test]

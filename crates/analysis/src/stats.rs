@@ -50,6 +50,125 @@ pub fn wilson95(successes: usize, trials: usize) -> Interval {
     Interval { estimate: p, lo: (centre - margin).max(0.0), hi: (centre + margin).min(1.0) }
 }
 
+/// Natural log of the gamma function (Lanczos approximation, |ε| < 2e-10
+/// for x > 0 — Numerical-Recipes-style coefficients).
+fn ln_gamma(x: f64) -> f64 {
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut y = x;
+    let mut ser = 1.000_000_000_190_015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Continued fraction for the regularized incomplete beta (modified Lentz).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 3e-14 {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_bt = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        ln_bt.exp() * betacf(a, b, x) / a
+    } else {
+        1.0 - ln_bt.exp() * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Inverse of `I_x(a, b)` in `x`, by bisection (monotone increasing).
+fn beta_inv(a: f64, b: f64, target: f64) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if beta_inc(a, b, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Clopper–Pearson ("exact") 95 % interval for a binomial proportion:
+/// `lo = BetaInv(0.025; k, n−k+1)`, `hi = BetaInv(0.975; k+1, n−k)`, with
+/// the closed forms `lo = 0` at k = 0 and `hi = 1` at k = n.
+///
+/// Guaranteed ≥ 95 % coverage for every true p — conservative where Wilson
+/// is approximate — so the adaptive planner offers it as the cautious
+/// stopping rule (`--ci-method clopper-pearson`): strata close a little
+/// later, never on an interval that under-covers.
+pub fn clopper_pearson95(successes: usize, trials: usize) -> Interval {
+    assert!(successes <= trials, "successes {successes} > trials {trials}");
+    if trials == 0 {
+        return Interval { estimate: 0.0, lo: 0.0, hi: 1.0 };
+    }
+    const HALF_ALPHA: f64 = 0.025;
+    let n = trials as f64;
+    let k = successes as f64;
+    let lo = if successes == 0 { 0.0 } else { beta_inv(k, n - k + 1.0, HALF_ALPHA) };
+    let hi = if successes == trials { 1.0 } else { beta_inv(k + 1.0, n - k, 1.0 - HALF_ALPHA) };
+    Interval { estimate: k / n, lo, hi }
+}
+
 /// Normal-approximation 95 % error bar for a binomial proportion — the
 /// `1.96 · sqrt(p(1-p)/n)` the paper quotes. Returned as an absolute margin.
 pub fn normal_margin95(p: f64, trials: usize) -> f64 {
@@ -137,6 +256,57 @@ mod tests {
             assert!((iv.lo - lo).abs() < 1e-6, "wilson95({k}, {n}).lo = {}, reference {lo}", iv.lo);
             assert!((iv.hi - hi).abs() < 1e-6, "wilson95({k}, {n}).hi = {}, reference {hi}", iv.hi);
         }
+    }
+
+    #[test]
+    fn clopper_pearson_bounds_match_published_reference_values() {
+        // Reference values of the 95 % Clopper–Pearson exact interval
+        // (Clopper & Pearson 1934; tabulated in Brown, Cai & DasGupta 2001
+        // and every binomial-CI reference since), independently reproduced
+        // from the defining binomial tail equations
+        // P(X ≥ k | p = lo) = 0.025 and P(X ≤ k | p = hi) = 0.025.
+        let cases: &[(usize, usize, f64, f64)] = &[
+            // (successes, trials, lo, hi)
+            (0, 10, 0.0, 0.308497),
+            (1, 10, 0.002529, 0.445016),
+            (5, 10, 0.187086, 0.812914),
+            (10, 10, 0.691503, 1.0),
+            (0, 100, 0.0, 0.036217),
+            (5, 100, 0.016432, 0.112835),
+            (50, 100, 0.398321, 0.601679),
+            (1, 1000, 0.000025, 0.005559),
+            (500, 1000, 0.468549, 0.531451),
+        ];
+        for &(k, n, lo, hi) in cases {
+            let iv = clopper_pearson95(k, n);
+            assert!((iv.lo - lo).abs() < 1e-5, "clopper_pearson95({k}, {n}).lo = {}, reference {lo}", iv.lo);
+            assert!((iv.hi - hi).abs() < 1e-5, "clopper_pearson95({k}, {n}).hi = {}, reference {hi}", iv.hi);
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_is_conservative_relative_to_wilson() {
+        // On interior observations (0 < k < n) the exact interval is never
+        // narrower than the score interval on the same data. (At k = 0 and
+        // k = n the comparison legitimately flips — Wilson's boundary
+        // correction overshoots the exact tail — which is why this loop
+        // stays strictly interior.)
+        for (k, n) in [(1usize, 10usize), (5, 10), (3, 25), (5, 100), (50, 100), (99, 100), (500, 1000)] {
+            let cp = clopper_pearson95(k, n);
+            let w = wilson95(k, n);
+            assert!(cp.hi - cp.lo >= w.hi - w.lo - 1e-12, "{k}/{n}: CP {cp:?} narrower than Wilson {w:?}");
+            assert!(cp.lo <= cp.estimate + 1e-12 && cp.estimate <= cp.hi + 1e-12, "{k}/{n}: {cp:?}");
+            assert!(cp.lo >= 0.0 && cp.hi <= 1.0);
+        }
+        // k = 0 / k = n closed forms: hi = 1 − 0.025^(1/n) and its mirror.
+        let iv = clopper_pearson95(0, 20);
+        assert!((iv.hi - (1.0 - 0.025f64.powf(1.0 / 20.0))).abs() < 1e-9);
+        assert_eq!(iv.lo, 0.0);
+        let iv = clopper_pearson95(20, 20);
+        assert!((iv.lo - 0.025f64.powf(1.0 / 20.0)).abs() < 1e-9);
+        assert_eq!(iv.hi, 1.0);
+        let iv = clopper_pearson95(0, 0);
+        assert_eq!((iv.lo, iv.hi), (0.0, 1.0));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! phi-cli submit --socket <s> --kind inject|beam --benchmark <label>
 //!                [--trials N] [--seed N] [--size test|small|paper]
 //!                [--shards N] [--isolate] [--model <m>]... [--tolerance F]
-//!                [--adaptive] [--ci F]
+//!                [--adaptive] [--ci F] [--ci-method wilson|clopper-pearson]
 //! phi-cli submit --socket <s> --spec-file <path>   # raw spec JSON, as-is
 //! phi-cli status --socket <s> <id>
 //! phi-cli list   --socket <s>
@@ -72,6 +72,7 @@ struct Args {
     tolerance: f64,
     adaptive: bool,
     ci: f64,
+    ci_method: sdc_analysis::CiMethod,
     spec_file: Option<PathBuf>,
     wait: bool,
     timeout_ms: u64,
@@ -97,6 +98,7 @@ fn parse_args() -> Args {
         tolerance: 0.0,
         adaptive: false,
         ci: 0.01,
+        ci_method: Default::default(),
         spec_file: None,
         wait: false,
         timeout_ms: 600_000,
@@ -134,6 +136,10 @@ fn parse_args() -> Args {
             "--ci" => match it.next().and_then(|r| r.trim().parse::<f64>().ok()) {
                 Some(f) if f.is_finite() && f > 0.0 && f < 1.0 => a.ci = f,
                 _ => usage(),
+            },
+            "--ci-method" => match it.next().and_then(|r| sdc_analysis::CiMethod::parse(r.trim())) {
+                Some(m) => a.ci_method = m,
+                None => usage(),
             },
             "--spec-file" => a.spec_file = it.next().map(PathBuf::from),
             "--wait" => a.wait = true,
@@ -188,6 +194,7 @@ fn build_spec(a: &Args) -> String {
         isolate: a.isolate,
         adaptive: a.adaptive,
         ci: a.ci,
+        ci_method: a.ci_method,
         ..Default::default()
     };
     let mut spec = bench::campaign_spec(kind, b, &cfg, &store);

@@ -128,6 +128,12 @@ fn render(s: &StatusSnapshot, clear: bool) {
             p.strata_open, p.strata_total, p.widest_ci, p.batches
         ));
     }
+    if let Some(d) = &s.dist {
+        out.push_str(&format!(
+            "  dist      executors {}   leases {} active / {} granted / {} expired   merged {}   dups {}\n",
+            d.executors, d.leases_active, d.leases_granted, d.leases_expired, d.merged_trials, d.dup_trials
+        ));
+    }
     let w = &s.workers;
     out.push_str(&format!(
         "  workers   spawned {}   killed {}   retries {}   quarantined {}   metric-frames {}\n",

@@ -33,7 +33,7 @@ use carolfi::orchestrator::{StoreConfig, StoredRun};
 use carolfi::record::TrialRecord;
 use carolfi::{run_campaign_adaptive, run_campaign_isolated, run_campaign_stored, CampaignConfig, IsolateConfig};
 use kernels::{build, golden, Benchmark, SizeClass};
-use sdc_analysis::planner::{WilsonPlanner, DEFAULT_BATCH};
+use sdc_analysis::planner::{CiMethod, WilsonPlanner, DEFAULT_BATCH};
 use sdc_analysis::pvf::{by_model, PvfKind};
 use serde::__private::{as_map, field, field_content, to_content, Content, ContentError, FromContent};
 use serde::{Deserialize, Serialize};
@@ -104,14 +104,22 @@ pub struct PlanSpec {
     pub ci: f64,
     /// Trials per allocation decision (default [`DEFAULT_BATCH`]).
     pub batch: usize,
+    /// Interval method the stopping rule measures (default Wilson;
+    /// `clopper-pearson` for the conservative exact interval). Omitted
+    /// from the wire when Wilson, so pre-existing v2 specs round-trip
+    /// byte-identically.
+    pub method: CiMethod,
 }
 
 impl Serialize for PlanSpec {
     fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        let m = vec![
+        let mut m = vec![
             ("ci".to_string(), Content::F64(self.ci)),
             ("batch".to_string(), Content::U64(self.batch as u64)),
         ];
+        if self.method != CiMethod::Wilson {
+            m.push(("method".to_string(), Content::Str(self.method.label().to_string())));
+        }
         s.serialize_content(Content::Map(m))
     }
 }
@@ -124,7 +132,15 @@ impl FromContent for PlanSpec {
             Ok(v) => usize::from_content(v).map_err(|e| ContentError::msg(&format!("plan: field \"batch\": {e}")))?,
             Err(_) => DEFAULT_BATCH,
         };
-        Ok(PlanSpec { ci, batch })
+        let method = match field_content(m, "method") {
+            Ok(v) => {
+                let label = String::from_content(v).map_err(|e| ContentError::msg(&format!("plan: field \"method\": {e}")))?;
+                CiMethod::parse(&label)
+                    .ok_or_else(|| ContentError::msg(&format!("plan.method: expected wilson or clopper-pearson, got {label:?}")))?
+            }
+            Err(_) => CiMethod::Wilson,
+        };
+        Ok(PlanSpec { ci, batch, method })
     }
 }
 
@@ -241,7 +257,7 @@ impl<'de> Deserialize<'de> for CampaignSpec {
 /// `--adaptive`/`--ci` flags become a version-2 `plan` block; without them
 /// the spec is version 1, bit-identical to what earlier releases emitted.
 pub fn campaign_spec(kind: CampaignKind, b: Benchmark, cfg: &RunConfig, store: &StoreArgs) -> CampaignSpec {
-    let plan = store.adaptive.then_some(PlanSpec { ci: store.ci, batch: DEFAULT_BATCH });
+    let plan = store.adaptive.then_some(PlanSpec { ci: store.ci, batch: DEFAULT_BATCH, method: store.ci_method });
     CampaignSpec {
         kind,
         version: if plan.is_some() { 2 } else { 1 },
@@ -443,7 +459,8 @@ pub fn run_spec(p: &ParsedSpec, dir: &Path, resume: bool, budget: Option<usize>)
             let ccfg = p.campaign_config();
             let run = if let Some(plan) = &p.spec.plan {
                 let total_steps = build(b, size).total_steps().max(1);
-                let mut planner = WilsonPlanner::for_injection(&ccfg, total_steps, plan.ci, plan.batch);
+                let mut planner =
+                    WilsonPlanner::for_injection(&ccfg, total_steps, plan.ci, plan.batch).with_method(plan.method);
                 let g = {
                     let _span = obs::span!("golden");
                     golden(b, size)
@@ -769,13 +786,39 @@ mod tests {
     fn v2_spec_with_plan_roundtrips() {
         let mut spec = v1_spec();
         spec.version = 2;
-        spec.plan = Some(PlanSpec { ci: 0.05, batch: 16 });
+        spec.plan = Some(PlanSpec { ci: 0.05, batch: 16, method: CiMethod::Wilson });
         let json = serde_json::to_string(&spec).unwrap();
         assert!(json.contains("\"version\":2"), "{json}");
         assert!(json.contains("\"plan\":{\"ci\":0.05,\"batch\":16}"), "{json}");
         let back: CampaignSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
         assert!(validate_spec(back).is_ok());
+    }
+
+    #[test]
+    fn plan_method_is_on_the_wire_only_when_not_wilson() {
+        // Wilson is the default and stays invisible, so pre-existing v2
+        // documents keep their byte layout.
+        let mut spec = v1_spec();
+        spec.version = 2;
+        spec.plan = Some(PlanSpec { ci: 0.05, batch: 16, method: CiMethod::Wilson });
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"plan\":{\"ci\":0.05,\"batch\":16}"), "{json}");
+
+        spec.plan = Some(PlanSpec { ci: 0.05, batch: 16, method: CiMethod::ClopperPearson });
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"plan\":{\"ci\":0.05,\"batch\":16,\"method\":\"clopper-pearson\"}"), "{json}");
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert!(validate_spec(back).is_ok());
+
+        let err = parse_spec(
+            "{\"kind\":\"inject\",\"version\":2,\"benchmark\":\"dgemm\",\"trials\":64,\"seed\":1,\
+             \"size\":\"test\",\"shards\":1,\"isolate\":false,\"models\":[],\"tolerance\":0.0,\
+             \"plan\":{\"ci\":0.1,\"method\":\"exact\"}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("wilson or clopper-pearson"), "{err}");
     }
 
     #[test]
@@ -786,7 +829,7 @@ mod tests {
              \"plan\":{\"ci\":0.1}}",
         )
         .unwrap();
-        assert_eq!(p.spec.plan, Some(PlanSpec { ci: 0.1, batch: DEFAULT_BATCH }));
+        assert_eq!(p.spec.plan, Some(PlanSpec { ci: 0.1, batch: DEFAULT_BATCH, method: CiMethod::Wilson }));
     }
 
     #[test]
@@ -800,7 +843,7 @@ mod tests {
     #[test]
     fn plan_is_rejected_outside_version_2() {
         let mut spec = v1_spec();
-        spec.plan = Some(PlanSpec { ci: 0.05, batch: 32 });
+        spec.plan = Some(PlanSpec { ci: 0.05, batch: 32, method: CiMethod::Wilson });
         let err = validate_spec(spec).unwrap_err();
         assert!(err.contains("requires spec version 2"), "{err}");
     }
@@ -810,15 +853,15 @@ mod tests {
         let adaptive = |f: fn(&mut CampaignSpec)| {
             let mut spec = v1_spec();
             spec.version = 2;
-            spec.plan = Some(PlanSpec { ci: 0.05, batch: 32 });
+            spec.plan = Some(PlanSpec { ci: 0.05, batch: 32, method: CiMethod::Wilson });
             f(&mut spec);
             validate_spec(spec).unwrap_err()
         };
         assert!(adaptive(|s| s.kind = CampaignKind::Beam).contains("inject only"));
         assert!(adaptive(|s| s.isolate = true).contains("isolate"));
         assert!(adaptive(|s| s.models = vec!["single".into()]).contains("models subset"));
-        assert!(adaptive(|s| s.plan = Some(PlanSpec { ci: 1.5, batch: 32 })).contains("plan.ci"));
-        assert!(adaptive(|s| s.plan = Some(PlanSpec { ci: 0.05, batch: 0 })).contains("plan.batch"));
+        assert!(adaptive(|s| s.plan = Some(PlanSpec { ci: 1.5, batch: 32, method: CiMethod::Wilson })).contains("plan.ci"));
+        assert!(adaptive(|s| s.plan = Some(PlanSpec { ci: 0.05, batch: 0, method: CiMethod::Wilson })).contains("plan.batch"));
     }
 
     #[test]

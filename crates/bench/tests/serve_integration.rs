@@ -171,7 +171,7 @@ fn adaptive_daemon_campaign_is_byte_identical_to_a_direct_run() {
     adaptive.shards = 1;
     // Loose target + small batch: converges quickly at test size while
     // still exercising several allocation decisions.
-    adaptive.plan = Some(PlanSpec { ci: 0.5, batch: 8 });
+    adaptive.plan = Some(PlanSpec { ci: 0.5, batch: 8, method: Default::default() });
 
     let direct_dir = dir.join("direct");
     let direct_result = direct_run(&adaptive, &direct_dir);

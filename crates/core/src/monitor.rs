@@ -89,6 +89,8 @@ pub struct CampaignProgress {
     finished: AtomicBool,
     /// Adaptive-planner gauges; `None` for fixed-count campaigns.
     planner: Mutex<Option<PlannerStatus>>,
+    /// Distributed-coordinator gauges; `None` for single-host campaigns.
+    dist: Mutex<Option<DistStatus>>,
 }
 
 impl CampaignProgress {
@@ -118,6 +120,7 @@ impl CampaignProgress {
             ewma: Mutex::new(Ewma { at: now, done: prior, rate: 0.0, primed: false }),
             finished: AtomicBool::new(false),
             planner: Mutex::new(None),
+            dist: Mutex::new(None),
         }
     }
 
@@ -125,6 +128,12 @@ impl CampaignProgress {
     /// trial).
     pub fn set_planner(&self, status: PlannerStatus) {
         *self.planner.lock().unwrap_or_else(|e| e.into_inner()) = Some(status);
+    }
+
+    /// Publishes the distributed coordinator's lease gauges (lease-event
+    /// cadence, not per trial).
+    pub fn set_dist(&self, status: DistStatus) {
+        *self.dist.lock().unwrap_or_else(|e| e.into_inner()) = Some(status);
     }
 
     /// One more trial journaled on `shard`.
@@ -196,6 +205,7 @@ impl CampaignProgress {
             pool_rebuilds: merged.counter("pool/rebuilds"),
             workers: worker_health(&merged),
             planner: self.planner.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            dist: self.dist.lock().unwrap_or_else(|e| e.into_inner()).clone(),
             counters: counters_of(&merged),
             spans: spans_of(&merged),
         }
@@ -289,6 +299,17 @@ pub fn planner_update(status: PlannerStatus) {
     }
 }
 
+/// Publishes the distributed coordinator's lease gauges on the current
+/// campaign. Called by the coordinator on lease events and merge batches.
+pub fn dist_update(status: DistStatus) {
+    if !active() {
+        return;
+    }
+    if let Some(state) = current() {
+        state.set_dist(status);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Status snapshot (the wire/file schema).
 
@@ -358,6 +379,26 @@ pub struct PlannerStatus {
     pub batches: u64,
 }
 
+/// Distributed-coordinator gauges: executor population and the lease state
+/// machine's live counts. Published on lease events by the coordinator;
+/// absent for single-host campaigns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistStatus {
+    /// Executors currently connected.
+    pub executors: u64,
+    /// Leases granted and not yet completed or expired.
+    pub leases_active: u64,
+    /// Leases granted over the campaign's lifetime (across coordinator
+    /// incarnations).
+    pub leases_granted: u64,
+    /// Leases expired (straggler or death) and re-dispatchable.
+    pub leases_expired: u64,
+    /// Trials dropped as duplicates by the dedupe-by-index merge.
+    pub dup_trials: u64,
+    /// Trials accepted into the central journal.
+    pub merged_trials: u64,
+}
+
 /// Everything the monitoring plane knows, as one JSON-serializable value:
 /// the monitor endpoint's reply frame and the `heartbeat.json` schema.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -382,6 +423,9 @@ pub struct StatusSnapshot {
     pub workers: WorkerHealth,
     /// Adaptive-planner gauges; `None` unless the campaign is planner-driven.
     pub planner: Option<PlannerStatus>,
+    /// Distributed-coordinator gauges; `None` unless the campaign is
+    /// coordinator-driven.
+    pub dist: Option<DistStatus>,
     pub counters: Vec<CounterStatus>,
     pub spans: Vec<SpanStatus>,
 }
@@ -411,6 +455,7 @@ pub fn status() -> StatusSnapshot {
                 pool_rebuilds: merged.counter("pool/rebuilds"),
                 workers: worker_health(&merged),
                 planner: None,
+                dist: None,
                 counters: counters_of(&merged),
                 spans: spans_of(&merged),
             }

@@ -250,6 +250,37 @@ pub fn read_frame_blocking<T: for<'de> Deserialize<'de>>(s: &mut UnixStream) -> 
     parse_frame(&body)
 }
 
+/// Blocking frame read over any byte stream — the TCP transport of
+/// distributed campaigns uses this with `TcpStream`. Honors whatever read
+/// timeout the caller set on the underlying socket (a timeout surfaces as
+/// the socket's `WouldBlock`/`TimedOut` error; note a timeout mid-frame
+/// leaves the stream misaligned, so callers treat it as fatal to the
+/// connection). [`MAX_FRAME`] is enforced before any body allocation.
+pub fn read_frame<T: for<'de> Deserialize<'de>>(r: &mut impl Read) -> std::io::Result<T> {
+    let mut len = [0u8; 4];
+    read_exact_stream(r, &mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(other(format!("frame length {len} exceeds the {MAX_FRAME}-byte cap")));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_stream(r, &mut body)?;
+    parse_frame(&body)
+}
+
+fn read_exact_stream(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "peer closed the stream")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 fn read_exact_blocking(s: &mut UnixStream, buf: &mut [u8]) -> std::io::Result<()> {
     let mut filled = 0usize;
     while filled < buf.len() {
@@ -815,6 +846,25 @@ mod tests {
         a.write_all(&(u32::MAX).to_le_bytes()).unwrap();
         let err = read_frame_deadline::<Reply>(&mut b, Instant::now() + Duration::from_secs(1)).unwrap_err();
         assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn frames_roundtrip_over_tcp_and_enforce_the_cap() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            write_frame(&mut s, &Reply::Record { trial: 7, payload: "{\"y\":2}".into() }).unwrap();
+            // Then a poisoned length prefix: the reader must refuse it
+            // before allocating.
+            s.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let back: Reply = read_frame(&mut conn).unwrap();
+        assert_eq!(back, Reply::Record { trial: 7, payload: "{\"y\":2}".into() });
+        let err = read_frame::<Reply>(&mut conn).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+        sender.join().unwrap();
     }
 
     #[test]

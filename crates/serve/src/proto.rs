@@ -83,9 +83,45 @@ pub enum ServerReply {
     Done,
 }
 
+/// Connect attempts tolerated before giving up (a daemon launched in
+/// parallel with its client needs a moment to bind the socket).
+const CONNECT_ATTEMPTS: u32 = 20;
+
+/// Deterministic capped backoff between connect attempts: 5 ms doubling to
+/// a 100 ms ceiling — ~1.8 s total budget across [`CONNECT_ATTEMPTS`].
+fn connect_backoff(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(5u64.saturating_mul(1 << attempt.min(5)).min(100))
+}
+
+/// True for the two errors a not-yet-bound daemon socket produces: the
+/// path does not exist yet, or it exists but nothing is accepting.
+fn not_yet_bound(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::NotFound | std::io::ErrorKind::ConnectionRefused)
+}
+
+/// Connects to the daemon socket, absorbing the startup race: a socket
+/// that is not bound yet (`NotFound` / `ConnectionRefused`) is retried
+/// with bounded deterministic backoff before the error is surfaced
+/// verbatim — so `phi-serve ... & phi-cli submit ...` works without an
+/// explicit poll loop, and a genuinely absent daemon still produces the
+/// same diagnostic as before, just ~2 s later.
+fn connect_with_retry(socket: &Path) -> std::io::Result<UnixStream> {
+    let mut attempt = 0u32;
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if not_yet_bound(&e) && attempt < CONNECT_ATTEMPTS => {
+                std::thread::sleep(connect_backoff(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// One-shot client call: connect, send `req`, read a single reply.
 pub fn roundtrip(socket: &Path, req: &ClientRequest) -> std::io::Result<ServerReply> {
-    let mut stream = UnixStream::connect(socket)?;
+    let mut stream = connect_with_retry(socket)?;
     write_frame(&mut stream, req)?;
     read_frame_blocking(&mut stream)
 }
@@ -93,7 +129,48 @@ pub fn roundtrip(socket: &Path, req: &ClientRequest) -> std::io::Result<ServerRe
 /// Opens a streaming `Events` subscription; read replies off the returned
 /// stream with [`read_frame_blocking`] until `Done`.
 pub fn subscribe(socket: &Path, id: &str, gauge_ms: u64) -> std::io::Result<UnixStream> {
-    let mut stream = UnixStream::connect(socket)?;
+    let mut stream = connect_with_retry(socket)?;
     write_frame(&mut stream, &ClientRequest::Events { id: id.to_string(), gauge_ms })?;
     Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_backoff_is_deterministic_and_capped() {
+        let ms: Vec<u64> = (0..8).map(|a| connect_backoff(a).as_millis() as u64).collect();
+        assert_eq!(ms, vec![5, 10, 20, 40, 80, 100, 100, 100]);
+        let total: u64 = (0..CONNECT_ATTEMPTS).map(|a| connect_backoff(a).as_millis() as u64).sum();
+        assert!(total < 3000, "retry budget stays bounded, got {total} ms");
+    }
+
+    #[test]
+    fn absent_socket_still_surfaces_the_original_diagnostic() {
+        // Retries exhaust, then the raw error comes through: scripts keyed
+        // on the NotFound/ConnectionRefused kinds keep working.
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-proto-retry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = connect_with_retry(&dir.join("never-bound.sock")).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn late_bound_socket_is_reached() {
+        use std::os::unix::net::UnixListener;
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-proto-retry-late");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("late.sock");
+        let bind_at = sock.clone();
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            UnixListener::bind(&bind_at).unwrap()
+        });
+        let stream = connect_with_retry(&sock);
+        let _listener = binder.join().unwrap();
+        assert!(stream.is_ok(), "client should outwait the daemon's bind: {stream:?}");
+    }
 }

@@ -56,9 +56,19 @@ pub const ADAPTIVE_FORMAT_VERSION: u32 = 2;
 pub const MAX_TRANSIENT_RETRIES: u32 = 5;
 
 /// True for I/O errors worth retrying in place: the kernel asked us to try
-/// again, nothing is known to be wrong with the journal itself.
+/// again, nothing is known to be wrong with the journal itself. Network
+/// timeouts and peer resets/aborts count too — distributed campaigns route
+/// frame I/O through the same [`retry_transient`] budget, and a dropped TCP
+/// connection is exactly as recoverable as an `EINTR` on a local append.
 pub fn is_transient(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock)
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
 }
 
 /// Capped exponential backoff with deterministic jitter for transient
@@ -189,9 +199,11 @@ fn corrupt(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
-/// Encodes one entry as a checksummed line.
-fn encode_line(entry: &JournalEntry) -> std::io::Result<Vec<u8>> {
-    let json = serde_json::to_string(entry).map_err(std::io::Error::other)?;
+/// Encodes one serializable record as a checksummed journal-style line
+/// (`<crc32-hex8> <json>\n`). The codec shared by the campaign journal and
+/// the distributed coordinator's write-ahead ledger.
+pub fn encode_record<T: Serialize>(record: &T) -> std::io::Result<Vec<u8>> {
+    let json = serde_json::to_string(record).map_err(std::io::Error::other)?;
     let mut line = Vec::with_capacity(json.len() + 10);
     line.extend_from_slice(format!("{:08x} ", crc32(json.as_bytes())).as_bytes());
     line.extend_from_slice(json.as_bytes());
@@ -199,8 +211,9 @@ fn encode_line(entry: &JournalEntry) -> std::io::Result<Vec<u8>> {
     Ok(line)
 }
 
-/// Decodes one line (without its trailing `\n`). `None` = torn/invalid.
-fn decode_line(line: &[u8]) -> Option<JournalEntry> {
+/// Decodes one checksummed line (without its trailing `\n`). `None` =
+/// torn/invalid — the caller treats it as the start of a torn tail.
+pub fn decode_record<T: for<'de> Deserialize<'de>>(line: &[u8]) -> Option<T> {
     if line.len() < 10 || line[8] != b' ' {
         return None;
     }
@@ -210,6 +223,16 @@ fn decode_line(line: &[u8]) -> Option<JournalEntry> {
         return None;
     }
     serde_json::from_str(std::str::from_utf8(json).ok()?).ok()
+}
+
+/// Encodes one entry as a checksummed line.
+fn encode_line(entry: &JournalEntry) -> std::io::Result<Vec<u8>> {
+    encode_record(entry)
+}
+
+/// Decodes one line (without its trailing `\n`). `None` = torn/invalid.
+fn decode_line(line: &[u8]) -> Option<JournalEntry> {
+    decode_record(line)
 }
 
 /// Validated prefix of one segment's bytes: entries plus the byte offset the
@@ -668,6 +691,25 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
         assert_eq!(attempts, MAX_TRANSIENT_RETRIES + 1, "initial try plus the retry budget");
+    }
+
+    #[test]
+    fn retry_transient_covers_network_transient_kinds() {
+        use std::io::ErrorKind;
+        for kind in [ErrorKind::TimedOut, ErrorKind::ConnectionReset, ErrorKind::ConnectionAborted] {
+            let mut failures = 2;
+            let out = retry_transient(|| {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(std::io::Error::new(kind, "network hiccup"))
+                } else {
+                    Ok(kind)
+                }
+            })
+            .unwrap();
+            assert_eq!(out, kind);
+            assert_eq!(failures, 0, "{kind:?} must be retried like a local transient");
+        }
     }
 
     #[test]

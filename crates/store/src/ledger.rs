@@ -1,0 +1,247 @@
+//! Write-ahead coordinator ledger for distributed campaigns.
+//!
+//! The distributed coordinator records every lease decision in a single
+//! append-only `ledger.jsonl` file next to the campaign journal, using the
+//! journal's checksummed line codec (`<crc32-hex8> <json>\n`). The write
+//! order is what makes a SIGKILLed coordinator resumable without re-running
+//! completed ranges:
+//!
+//! * [`LedgerEntry::Granted`] is appended and synced **before** the lease
+//!   frame leaves the coordinator — a lease the network ever saw is always
+//!   on disk.
+//! * [`LedgerEntry::Completed`] is appended **after** the central journal
+//!   sealed the shard (checkpoint + `ShardDone` + fsync) — so a
+//!   ledger-completed shard is always journal-sealed. The converse crash
+//!   window (sealed but not ledgered) is reconciled on open by replaying
+//!   the journal's own shard progress.
+//!
+//! Recovery follows the journal's torn-tail rule: opening keeps the longest
+//! prefix of complete checksummed lines and physically truncates the rest.
+//! Every grant without a matching `Completed` belongs to a connection of
+//! the dead coordinator process and is treated as expired — its shard is
+//! immediately re-dispatchable, and the dedupe-by-index merge makes any
+//! duplicated trials from a still-running executor harmless.
+
+use crate::journal::{decode_record, encode_record, retry_transient};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Ledger file name inside a campaign journal directory. Deliberately not
+/// `seg-*.jsonl`, so journal segment scans never pick it up.
+pub const LEDGER_FILE: &str = "ledger.jsonl";
+
+/// One durable coordinator decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LedgerEntry {
+    /// Lease `lease` over `shard` granted to `executor` (write-ahead of the
+    /// lease frame).
+    Granted { lease: u64, shard: usize, executor: String },
+    /// The lease showed no liveness within the timeout; its shard became
+    /// re-dispatchable.
+    Expired { lease: u64 },
+    /// The shard's full range is merged and sealed in the central journal.
+    Completed { lease: u64, shard: usize },
+}
+
+impl LedgerEntry {
+    fn lease(&self) -> u64 {
+        match self {
+            LedgerEntry::Granted { lease, .. } | LedgerEntry::Expired { lease } | LedgerEntry::Completed { lease, .. } => *lease,
+        }
+    }
+}
+
+/// Replayed state of one lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Granted, neither expired nor completed. After a coordinator crash
+    /// every active lease belongs to a dead connection and must be treated
+    /// as expired.
+    Active,
+    Expired,
+    Completed,
+}
+
+/// Per-lease shard and replayed state.
+pub type LeaseMap = HashMap<u64, (usize, LeaseState)>;
+
+/// Result of opening (and replaying) a ledger.
+#[derive(Debug)]
+pub struct LedgerScan {
+    pub entries: Vec<LedgerEntry>,
+    /// Bytes of torn tail truncated from the file (0 = clean).
+    pub torn_bytes: u64,
+    /// First unused lease id (max granted + 1).
+    pub next_lease: u64,
+    /// Per-lease shard and state after replay.
+    pub leases: LeaseMap,
+}
+
+fn corrupt(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Replays ledger entries into per-lease state. Grants must be unique and
+/// `Expired`/`Completed` must name a granted lease — anything else means
+/// the file was edited out from under us.
+fn replay(entries: &[LedgerEntry]) -> std::io::Result<(u64, LeaseMap)> {
+    let mut leases = LeaseMap::new();
+    let mut next_lease = 0u64;
+    for e in entries {
+        let id = e.lease();
+        match e {
+            LedgerEntry::Granted { lease, shard, .. } => {
+                if leases.insert(*lease, (*shard, LeaseState::Active)).is_some() {
+                    return Err(corrupt(format!("ledger grants lease {lease} twice")));
+                }
+                next_lease = next_lease.max(lease + 1);
+            }
+            LedgerEntry::Expired { .. } => match leases.get_mut(&id) {
+                Some((_, state @ LeaseState::Active)) => *state = LeaseState::Expired,
+                Some((_, state)) => return Err(corrupt(format!("ledger expires lease {id} in state {state:?}"))),
+                None => return Err(corrupt(format!("ledger expires unknown lease {id}"))),
+            },
+            LedgerEntry::Completed { shard, .. } => match leases.get_mut(&id) {
+                Some((s, state @ LeaseState::Active)) if *s == *shard => *state = LeaseState::Completed,
+                Some(_) => return Err(corrupt(format!("ledger completes lease {id} inconsistently"))),
+                None => return Err(corrupt(format!("ledger completes unknown lease {id}"))),
+            },
+        }
+    }
+    Ok((next_lease, leases))
+}
+
+/// Appending side of the ledger. Entries are rare (a handful per shard), so
+/// every append writes through and the sync points are explicit.
+#[derive(Debug)]
+pub struct LedgerWriter {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl LedgerWriter {
+    /// Opens (creating if missing) the ledger in `dir`, validates its
+    /// checksummed prefix, truncates any torn tail and replays the
+    /// surviving entries.
+    pub fn open(dir: &Path) -> std::io::Result<(Self, LedgerScan)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LEDGER_FILE);
+        // Never truncate: an existing ledger is replayed, then appended to.
+        let mut file = OpenOptions::new().create(true).truncate(false).read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut entries = Vec::new();
+        let mut valid_end = 0usize;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else { break };
+            match decode_record::<LedgerEntry>(&bytes[pos..pos + nl]) {
+                Some(entry) => {
+                    entries.push(entry);
+                    pos += nl + 1;
+                    valid_end = pos;
+                }
+                None => break,
+            }
+        }
+        let torn_bytes = (bytes.len() - valid_end) as u64;
+        if torn_bytes > 0 {
+            file.set_len(valid_end as u64)?;
+            obs::incr("store/torn-bytes", torn_bytes);
+        }
+        file.seek(std::io::SeekFrom::End(0))?;
+        let (next_lease, leases) = replay(&entries)?;
+        Ok((LedgerWriter { path, file }, LedgerScan { entries, torn_bytes, next_lease, leases }))
+    }
+
+    /// Appends one entry (write-through). The caller decides when to
+    /// [`LedgerWriter::sync`]; grants sync before their lease frame is sent.
+    pub fn append(&mut self, entry: &LedgerEntry) -> std::io::Result<()> {
+        let line = encode_record(entry)?;
+        retry_transient(|| self.file.write_all(&line))?;
+        retry_transient(|| self.file.flush())?;
+        obs::incr("store/appends", 1);
+        Ok(())
+    }
+
+    /// Forces ledger bytes to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        retry_transient(|| self.file.sync_data())
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-ledger").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrips_and_replays_lease_states() {
+        let dir = tmp("roundtrip");
+        let (mut w, scan) = LedgerWriter::open(&dir).unwrap();
+        assert_eq!(scan.next_lease, 0);
+        assert!(scan.entries.is_empty());
+        w.append(&LedgerEntry::Granted { lease: 0, shard: 2, executor: "ex-a".into() }).unwrap();
+        w.append(&LedgerEntry::Granted { lease: 1, shard: 0, executor: "ex-b".into() }).unwrap();
+        w.append(&LedgerEntry::Expired { lease: 0 }).unwrap();
+        w.append(&LedgerEntry::Granted { lease: 2, shard: 2, executor: "ex-b".into() }).unwrap();
+        w.append(&LedgerEntry::Completed { lease: 2, shard: 2 }).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let (_, scan) = LedgerWriter::open(&dir).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.entries.len(), 5);
+        assert_eq!(scan.next_lease, 3);
+        assert_eq!(scan.leases[&0], (2, LeaseState::Expired));
+        assert_eq!(scan.leases[&1], (0, LeaseState::Active));
+        assert_eq!(scan.leases[&2], (2, LeaseState::Completed));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = tmp("torn");
+        let (mut w, _) = LedgerWriter::open(&dir).unwrap();
+        w.append(&LedgerEntry::Granted { lease: 0, shard: 0, executor: "ex".into() }).unwrap();
+        w.append(&LedgerEntry::Completed { lease: 0, shard: 0 }).unwrap();
+        drop(w);
+        let path = dir.join(LEDGER_FILE);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap(); // tear the Completed line
+        drop(f);
+
+        let (mut w, scan) = LedgerWriter::open(&dir).unwrap();
+        assert!(scan.torn_bytes > 0);
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.leases[&0], (0, LeaseState::Active));
+        w.append(&LedgerEntry::Expired { lease: 0 }).unwrap();
+        drop(w);
+        let (_, scan) = LedgerWriter::open(&dir).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.leases[&0], (0, LeaseState::Expired));
+    }
+
+    #[test]
+    fn inconsistent_histories_are_corruption_not_silence() {
+        let dir = tmp("inconsistent");
+        let (mut w, _) = LedgerWriter::open(&dir).unwrap();
+        w.append(&LedgerEntry::Expired { lease: 7 }).unwrap();
+        drop(w);
+        let err = LedgerWriter::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown lease 7"), "{err}");
+    }
+}

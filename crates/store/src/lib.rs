@@ -26,13 +26,17 @@
 //! journals uniformly.
 
 pub mod journal;
+pub mod ledger;
+pub mod merge;
 pub mod queue;
 pub mod shard;
 
 pub use journal::{
-    is_transient, retry_transient, BatchPolicy, CampaignMeta, Journal, JournalEntry, JournalScan, JournalWriter,
-    ShardCursor, ADAPTIVE_FORMAT_VERSION,
+    decode_record, encode_record, is_transient, retry_transient, transient_backoff, BatchPolicy, CampaignMeta, Journal,
+    JournalEntry, JournalScan, JournalWriter, ShardCursor, ADAPTIVE_FORMAT_VERSION, MAX_TRANSIENT_RETRIES,
 };
+pub use ledger::{LeaseState, LedgerEntry, LedgerScan, LedgerWriter, LEDGER_FILE};
+pub use merge::{Importer, Offer};
 pub use queue::{run_tasks, StopFlag};
 pub use shard::{ShardPlan, ShardProgress, ShardState};
 
